@@ -1,0 +1,175 @@
+// Command crasm assembles, inspects, exports and runs CRX binary images:
+//
+//	crasm -assemble prog.s -o prog.crx  # M64 assembler source → CRX
+//	crasm -emit nginx -o nginx.crx      # write a target's image to disk
+//	crasm -dump nginx.crx               # headers, sections, scope table
+//	crasm -dump nginx.crx -disasm       # plus full disassembly
+//	crasm -run prog.crx                 # execute (Windows model), print exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crashresist"
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/vm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		assemble = flag.String("assemble", "", "M64 assembler source file to build")
+		emit     = flag.String("emit", "", "export a built-in target image: nginx|cherokee|lighttpd|memcached|postgresql")
+		out      = flag.String("o", "", "output path for -assemble/-emit")
+		dump     = flag.String("dump", "", "CRX file to inspect")
+		disasm   = flag.Bool("disasm", false, "include full disassembly in -dump")
+		runFile  = flag.String("run", "", "CRX executable to run (Windows model)")
+	)
+	flag.Parse()
+
+	switch {
+	case *assemble != "":
+		if *out == "" {
+			*out = *assemble + ".crx"
+		}
+		return assembleFile(*assemble, *out)
+	case *emit != "":
+		if *out == "" {
+			*out = *emit + ".crx"
+		}
+		return emitTarget(*emit, *out)
+	case *dump != "":
+		return dumpFile(*dump, *disasm)
+	case *runFile != "":
+		return runImage(*runFile)
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -assemble, -emit, -dump or -run")
+	}
+}
+
+func assembleFile(src, out string) error {
+	source, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	img, err := asm.Assemble(string(source))
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	blob, err := bin.Marshal(img)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s → %s (%d bytes text, %d bytes image)\n",
+		src, out, len(img.Text), len(blob))
+	return nil
+}
+
+func runImage(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	img, err := bin.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 1})
+	if _, err := p.LoadImage(img); err != nil {
+		return err
+	}
+	if _, err := p.Start(); err != nil {
+		return err
+	}
+	res := p.RunUntilIdle(100_000_000)
+	fmt.Printf("state=%v exit=%d instructions=%d faults=%d/%d handled\n",
+		res.State, p.ExitCode, p.Stats.Instructions, p.Stats.FaultsHandled, p.Stats.Faults)
+	if p.Crash != nil {
+		fmt.Printf("crash: %v (%s)\n", p.Crash, p.SymbolAt(p.Crash.Exc.PC))
+	}
+	return nil
+}
+
+func emitTarget(name, out string) error {
+	srv, err := crashresist.Server(name)
+	if err != nil {
+		return err
+	}
+	blob, err := bin.Marshal(srv.Image)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(blob))
+	return nil
+}
+
+func dumpFile(path string, disasm bool) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	img, err := bin.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %s, entry %#x\n", img.Name, img.Kind, img.Entry)
+	fmt.Printf("  text %d bytes, data %d bytes (at %#x), bss %d bytes (at %#x), span %#x\n",
+		len(img.Text), len(img.Data), img.DataStart(), img.BSSSize, img.BSSStart(), img.Span())
+
+	if len(img.Imports) > 0 {
+		fmt.Printf("imports (%d):\n", len(img.Imports))
+		for i, imp := range img.Imports {
+			fmt.Printf("  #%-3d %s\n", i, imp)
+		}
+	}
+	if len(img.Exports) > 0 {
+		fmt.Printf("exports (%d):\n", len(img.Exports))
+		for name, off := range img.Exports {
+			fmt.Printf("  %#08x %s\n", off, name)
+		}
+	}
+	if len(img.Symbols) > 0 {
+		fmt.Printf("symbols (%d):\n", len(img.Symbols))
+		for _, s := range img.Symbols {
+			fmt.Printf("  %#08x +%-6d %s\n", s.Offset, s.Size, s.Name)
+		}
+	}
+	if len(img.Scopes) > 0 {
+		fmt.Printf("scope table (%d entries):\n", len(img.Scopes))
+		for i, s := range img.Scopes {
+			filter := fmt.Sprintf("filter@%#x", s.Filter)
+			if s.IsCatchAll() {
+				filter = "catch-all"
+			}
+			fn := fmt.Sprintf("%#x", s.Func)
+			if sym, ok := img.SymbolAt(s.Func); ok {
+				fn = sym.Name
+			}
+			fmt.Printf("  #%-3d %-20s [%#x, %#x) %-14s target %#x\n",
+				i, fn, s.Begin, s.End, filter, s.Target)
+		}
+	}
+	if disasm {
+		fmt.Println("disassembly:")
+		fmt.Print(isa.Disassemble(img.Text))
+	}
+	return nil
+}

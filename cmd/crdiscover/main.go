@@ -1,0 +1,130 @@
+// Command crdiscover runs one discovery pipeline against one target and
+// prints the full report:
+//
+//	crdiscover -target nginx                 # syscall pipeline
+//	crdiscover -target ie -pipeline api      # §V-B funnel
+//	crdiscover -target firefox -pipeline seh # Tables II/III inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crashresist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crdiscover:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target   = flag.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
+		pipeline = flag.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
+		scale    = flag.String("scale", "small", "browser corpus scale: paper or small")
+		seed     = flag.Int64("seed", 42, "analysis seed")
+	)
+	flag.Parse()
+
+	isBrowser := *target == "ie" || *target == "firefox"
+	pl := *pipeline
+	if pl == "" {
+		if isBrowser {
+			pl = "seh"
+		} else {
+			pl = "syscall"
+		}
+	}
+
+	if !isBrowser {
+		if pl != "syscall" {
+			return fmt.Errorf("pipeline %q needs a browser target", pl)
+		}
+		return runServer(*target, *seed)
+	}
+
+	params := crashresist.SmallBrowserParams()
+	if *scale == "paper" {
+		params = crashresist.PaperBrowserParams()
+	}
+	var (
+		br  *crashresist.BrowserTarget
+		err error
+	)
+	if *target == "ie" {
+		br, err = crashresist.IE(params)
+	} else {
+		br, err = crashresist.Firefox(params)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch pl {
+	case "api":
+		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(crashresist.FormatFunnel(rep))
+		return nil
+	case "seh":
+		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
+		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
+		fmt.Printf("on-path candidates (%d):\n", len(rep.Candidates))
+		for _, c := range rep.Candidates {
+			kind := "filter"
+			if c.CatchAll {
+				kind = "catch-all"
+			}
+			fmt.Printf("  %-16s scope %-4d %-24s %-9s hits %d\n",
+				c.Module, c.Scope, c.FuncName, kind, c.Hits)
+			if len(rep.Candidates) > 40 && c.Hits > 0 {
+				// keep terminal output bounded at paper scale
+			}
+		}
+		if len(rep.VEHFindings) > 0 {
+			fmt.Printf("\nvectored-handler registrations (static scan, §VII-A extension):\n")
+			for _, f := range rep.VEHFindings {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+		pw := crashresist.PriorWork(rep)
+		fmt.Printf("\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
+			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
+		return nil
+	default:
+		return fmt.Errorf("unknown pipeline %q", pl)
+	}
+}
+
+func runServer(name string, seed int64) error {
+	srv, err := crashresist.Server(name)
+	if err != nil {
+		return err
+	}
+	rep, err := crashresist.AnalyzeServer(srv, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("syscall pipeline report for %s\n\n", rep.Server)
+	fmt.Printf("%-12s %-18s\n", "syscall", "status")
+	for _, sc := range crashresist.TableISyscalls() {
+		fmt.Printf("%-12s %-18s\n", sc, rep.Status[sc])
+	}
+	fmt.Printf("\nvalidated candidates (%d):\n", len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Printf("  %-12s arg%d prov=%#x taint=%#x seen=%d → %s\n     %s\n",
+			f.Syscall, f.ArgIndex, f.Provenance, f.TaintMask, f.Count, f.Status, f.Detail)
+	}
+	fmt.Printf("\nusable crash-resistant primitives: %v\n", rep.Usable())
+	return nil
+}

@@ -1,0 +1,202 @@
+// Command crtables regenerates every table and figure of the paper's
+// evaluation in one run:
+//
+//	crtables -table all            # everything, paper scale
+//	crtables -table 1              # Table I only
+//	crtables -table funnel -scale small
+//
+// Tables: 1 (syscall candidates), funnel (§V-B API funnel), 2 (guarded code
+// locations), 3 (unique exception filters), prior (§VII-A rediscovery),
+// rate (§VII-C fault rates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crashresist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
+		scale = flag.String("scale", "paper", "corpus scale: paper or small")
+		seed  = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
+	)
+	flag.Parse()
+
+	params := crashresist.PaperBrowserParams()
+	if *scale == "small" {
+		params = crashresist.SmallBrowserParams()
+	}
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+
+	if want("1") {
+		if err := printTableI(*seed); err != nil {
+			return err
+		}
+	}
+	if want("funnel") {
+		if err := printFunnel(params, *seed); err != nil {
+			return err
+		}
+	}
+	if want("2") || want("3") {
+		if err := printSEHTables(params, *seed, want("2"), want("3")); err != nil {
+			return err
+		}
+	}
+	if want("prior") {
+		if err := printPriorWork(params, *seed); err != nil {
+			return err
+		}
+	}
+	if want("rate") {
+		if err := printRates(params, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printTableI(seed int64) error {
+	servers, err := crashresist.Servers()
+	if err != nil {
+		return err
+	}
+	var reports []*crashresist.SyscallReport
+	for _, srv := range servers {
+		rep, err := crashresist.AnalyzeServer(srv, seed)
+		if err != nil {
+			return fmt.Errorf("analyze %s: %w", srv.Name, err)
+		}
+		reports = append(reports, rep)
+	}
+	fmt.Println(crashresist.FormatTableI(reports))
+	for _, rep := range reports {
+		fmt.Printf("%s usable: %v\n", rep.Server, rep.Usable())
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFunnel(params crashresist.BrowserParams, seed int64) error {
+	br, err := crashresist.IE(params)
+	if err != nil {
+		return err
+	}
+	rep, err := crashresist.AnalyzeBrowserAPIs(br, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(crashresist.FormatFunnel(rep))
+	return nil
+}
+
+func printSEHTables(params crashresist.BrowserParams, seed int64, t2, t3 bool) error {
+	br, err := crashresist.IE(params)
+	if err != nil {
+		return err
+	}
+	rep, err := crashresist.AnalyzeBrowserSEH(br, seed)
+	if err != nil {
+		return err
+	}
+	if t2 {
+		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
+	}
+	if t3 {
+		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
+	}
+	return nil
+}
+
+func printPriorWork(params crashresist.BrowserParams, seed int64) error {
+	ie, err := crashresist.IE(params)
+	if err != nil {
+		return err
+	}
+	ieRep, err := crashresist.AnalyzeBrowserSEH(ie, seed)
+	if err != nil {
+		return err
+	}
+	ff, err := crashresist.Firefox(params)
+	if err != nil {
+		return err
+	}
+	ffRep, err := crashresist.AnalyzeBrowserSEH(ff, seed)
+	if err != nil {
+		return err
+	}
+	iePW := crashresist.PriorWork(ieRep)
+	ffPW := crashresist.PriorWork(ffRep)
+	fmt.Println("§VII-A prior-primitive rediscovery")
+	fmt.Printf("  IE MUTX::Enter catch-all found automatically:   %v\n", iePW.IECatchAllFound)
+	fmt.Printf("  IE post-update filter needs manual vetting:     %v\n", iePW.IEPostUpdateNeedsManual)
+	fmt.Printf("  Firefox runtime VEH invisible to scope tables:  %v\n", ffPW.FirefoxVEHMissed)
+	fmt.Printf("  ... recovered by the registration-scan extension: %v\n", ffPW.FirefoxVEHFoundByExtension)
+	fmt.Println()
+	return nil
+}
+
+func printRates(params crashresist.BrowserParams, seed int64) error {
+	br, err := crashresist.Firefox(params)
+	if err != nil {
+		return err
+	}
+	env, err := br.NewEnv(seed)
+	if err != nil {
+		return err
+	}
+	rec := crashresist.NewExceptionRecorder()
+	rec.Attach(env.Proc)
+	if err := env.Start(); err != nil {
+		return err
+	}
+	det := crashresist.DefaultRateDetector()
+
+	if err := env.Browse(); err != nil {
+		return err
+	}
+	browsePeak := det.Peak(rec.Exceptions())
+
+	rec.ResetExceptions()
+	if _, err := env.Call("xul.dll", "asmjs_run", 20); err != nil {
+		return err
+	}
+	asmPeak := det.Peak(rec.Exceptions())
+
+	rec.ResetExceptions()
+	o, err := crashresist.NewFirefoxOracle(env)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := o.Probe(0xdead0000 + uint64(i)*0x1000); err != nil {
+			return err
+		}
+	}
+	scanPeak := det.Peak(rec.Exceptions())
+
+	fmt.Println("§VII-C access-violation rates (peak events per window)")
+	fmt.Printf("  normal browsing: %d\n", browsePeak)
+	fmt.Printf("  asm.js stress:   %d (bursts, below threshold %d)\n", asmPeak, det.Threshold)
+	fmt.Printf("  scanning attack: %d (detected: %v)\n", scanPeak, det.Detect(rec.Exceptions()))
+
+	// The closing argument: a detector-evading scan becomes impractical.
+	probes := crashresist.ProbesToCover(1<<43, 8<<20)
+	ticks := det.StealthScanTicks(probes)
+	fmt.Printf("  sub-threshold full-arena scan: %d probes ≥ %.1f virtual hours\n",
+		probes, float64(ticks)/(3600*1_000_000))
+	fmt.Println()
+	return nil
+}

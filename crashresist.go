@@ -1,0 +1,216 @@
+// Package crashresist is the public API of the crash-resistant-primitive
+// discovery toolkit, a reproduction of "Towards Automated Discovery of
+// Crash-Resistant Primitives in Binary Executables" (Kollenda et al.,
+// DSN 2017).
+//
+// The toolkit runs entirely on a simulated substrate: M64 binaries execute
+// inside a deterministic process emulator with a Linux-model syscall layer
+// and a Windows-model API/SEH layer. Three discovery pipelines locate
+// crash-resistant primitives in those binaries:
+//
+//   - AnalyzeServer: the Linux syscall pipeline (taint tracking + pointer
+//     corruption validation) — Table I.
+//   - AnalyzeBrowserAPIs: the Windows API pipeline (black-box fuzzing +
+//     call-site harvesting + controllability classification) — the §V-B
+//     funnel.
+//   - AnalyzeBrowserSEH: the exception-handler pipeline (scope-table
+//     extraction + symbolic filter execution + coverage cross-reference) —
+//     Tables II and III.
+//
+// Discovered primitives become memory oracles (package-level *Oracle types)
+// that probe the address space without crashing, defeating
+// information-hiding defenses; the defense side (RateDetector,
+// MappedOnlyPolicy, Rerandomizer) reproduces §VII's countermeasures.
+//
+// Typical usage:
+//
+//	srv, _ := crashresist.Server("nginx")
+//	report, _ := crashresist.AnalyzeServer(srv, 42)
+//	fmt.Println(report.Usable()) // [recv]
+package crashresist
+
+import (
+	"crashresist/internal/defense"
+	"crashresist/internal/discover"
+	"crashresist/internal/oracle"
+	"crashresist/internal/targets"
+	"crashresist/internal/trace"
+	"crashresist/internal/vm"
+	"crashresist/internal/winapi"
+)
+
+// Target construction.
+type (
+	// ServerTarget is one of the five Table I server models.
+	ServerTarget = targets.Server
+	// ServerEnv is a booted server instance.
+	ServerEnv = targets.ServerEnv
+	// BrowserTarget is one of the two browser models.
+	BrowserTarget = targets.Browser
+	// BrowserEnv is a booted browser instance.
+	BrowserEnv = targets.BrowserEnv
+	// BrowserParams sizes a browser model and its DLL/API corpora.
+	BrowserParams = targets.BrowserParams
+	// CorpusParams sizes the system-DLL corpus.
+	CorpusParams = targets.CorpusParams
+	// DLLSpec sizes one DLL's exception-handler population.
+	DLLSpec = targets.DLLSpec
+	// APICorpusParams sizes the platform-API corpus.
+	APICorpusParams = winapi.CorpusParams
+)
+
+// Discovery pipeline reports.
+type (
+	// SyscallReport is the per-server Table I result.
+	SyscallReport = discover.SyscallReport
+	// SyscallStatus classifies one server/syscall cell.
+	SyscallStatus = discover.SyscallStatus
+	// Finding is one validated syscall candidate.
+	Finding = discover.Finding
+	// APIFunnelReport is the §V-B funnel result.
+	APIFunnelReport = discover.APIFunnelReport
+	// APIClassification explains one JS-context API's fate.
+	APIClassification = discover.APIClassification
+	// SEHReport is the Tables II/III result.
+	SEHReport = discover.SEHReport
+	// ModuleSEH is one module row of Tables II/III.
+	ModuleSEH = discover.ModuleSEH
+	// PriorWorkFindings is the §VII-A verification result.
+	PriorWorkFindings = discover.PriorWorkFindings
+)
+
+// Syscall pipeline statuses (Table I cell legend).
+const (
+	StatusNotObserved      = discover.StatusNotObserved
+	StatusObserved         = discover.StatusObserved
+	StatusUntriggered      = discover.StatusUntriggered
+	StatusInvalidCandidate = discover.StatusInvalidCandidate
+	StatusFalsePositive    = discover.StatusFalsePositive
+	StatusUsable           = discover.StatusUsable
+)
+
+// Oracles and attacks.
+type (
+	// Oracle is a crash-resistant memory probing primitive.
+	Oracle = oracle.Oracle
+	// ProbeResult is the outcome of one probe.
+	ProbeResult = oracle.ProbeResult
+	// Scanner drives an oracle across address ranges.
+	Scanner = oracle.Scanner
+	// IEOracle is the §VI-A proof of concept.
+	IEOracle = oracle.IEOracle
+	// FirefoxOracle is the §VI-B proof of concept.
+	FirefoxOracle = oracle.FirefoxOracle
+	// NginxOracle is the §VI-C proof of concept.
+	NginxOracle = oracle.NginxOracle
+	// CherokeeOracle is the §VI-D proof of concept.
+	CherokeeOracle = oracle.CherokeeOracle
+)
+
+// Probe outcomes.
+const (
+	ProbeMapped   = oracle.ProbeMapped
+	ProbeUnmapped = oracle.ProbeUnmapped
+)
+
+// Defenses.
+type (
+	// RateDetector is the §VII-C fault-rate anomaly detector.
+	RateDetector = defense.RateDetector
+	// Rerandomizer relocates a hidden region at run time.
+	Rerandomizer = defense.Rerandomizer
+)
+
+// Servers builds the five Table I server targets.
+func Servers() ([]*ServerTarget, error) { return targets.AllServers() }
+
+// Server builds one server target by name: nginx, cherokee, lighttpd,
+// memcached or postgresql.
+func Server(name string) (*ServerTarget, error) { return targets.ServerByName(name) }
+
+// IE builds the Internet Explorer 11 browser model.
+func IE(params BrowserParams) (*BrowserTarget, error) { return targets.IE(params) }
+
+// Firefox builds the Firefox 46 browser model.
+func Firefox(params BrowserParams) (*BrowserTarget, error) { return targets.Firefox(params) }
+
+// PaperBrowserParams returns the full evaluation scale (187 DLLs, 20,672
+// APIs, 736,512 trigger events).
+func PaperBrowserParams() BrowserParams { return targets.PaperBrowserParams() }
+
+// SmallBrowserParams returns a quick test scale.
+func SmallBrowserParams() BrowserParams { return targets.SmallBrowserParams() }
+
+// AnalyzeServer runs the Linux syscall pipeline against one server target.
+// The seed fixes ASLR across the observation and validation runs.
+func AnalyzeServer(srv *ServerTarget, seed int64) (*SyscallReport, error) {
+	a := &discover.SyscallAnalyzer{Seed: seed}
+	return a.Analyze(srv)
+}
+
+// AnalyzeBrowserAPIs runs the Windows API pipeline against a browser target.
+func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64) (*APIFunnelReport, error) {
+	a := &discover.APIAnalyzer{Seed: seed}
+	return a.Analyze(br)
+}
+
+// AnalyzeBrowserSEH runs the exception-handler pipeline against a browser
+// target.
+func AnalyzeBrowserSEH(br *BrowserTarget, seed int64) (*SEHReport, error) {
+	a := &discover.SEHAnalyzer{Seed: seed}
+	return a.Analyze(br)
+}
+
+// PriorWork checks an SEH report for the §VII-A previously-published
+// primitives.
+func PriorWork(rep *SEHReport) PriorWorkFindings { return discover.PriorWork(rep) }
+
+// NewScanner wraps an oracle with probing statistics.
+func NewScanner(o Oracle) *Scanner { return oracle.NewScanner(o) }
+
+// PlantHiddenRegion maps a reference-less region (the SafeStack/CPI-metadata
+// stand-in) into a process and returns its secret base.
+func PlantHiddenRegion(p *vm.Process, size uint64) (uint64, error) {
+	return oracle.PlantHiddenRegion(p, size)
+}
+
+// NewIEOracle builds the §VI-A oracle on a started IE environment.
+func NewIEOracle(env *BrowserEnv) (*IEOracle, error) { return oracle.NewIEOracle(env) }
+
+// NewFirefoxOracle builds the §VI-B oracle on a started Firefox environment.
+func NewFirefoxOracle(env *BrowserEnv) (*FirefoxOracle, error) { return oracle.NewFirefoxOracle(env) }
+
+// NewNginxOracle builds the §VI-C oracle on a running nginx environment.
+func NewNginxOracle(env *ServerEnv) *NginxOracle { return oracle.NewNginxOracle(env) }
+
+// NewCherokeeOracle builds the §VI-D timing oracle; requests is the batch
+// size per measurement (1,000 in the paper).
+func NewCherokeeOracle(env *ServerEnv, requests int) (*CherokeeOracle, error) {
+	return oracle.NewCherokeeOracle(env, requests)
+}
+
+// DefaultRateDetector returns the §VII-C calibration.
+func DefaultRateDetector() RateDetector { return defense.DefaultRateDetector() }
+
+// ProbesToCover returns how many stride-sized probes cover an address range.
+func ProbesToCover(rangeBytes, stride uint64) uint64 {
+	return defense.ProbesToCover(rangeBytes, stride)
+}
+
+// MappedOnlyPolicy returns the VM policy making unmapped access violations
+// unrecoverable (§VII-C).
+func MappedOnlyPolicy() vm.Policy { return defense.MappedOnlyPolicy() }
+
+// NewRerandomizer plants a relocatable hidden region.
+func NewRerandomizer(p *vm.Process, size uint64) (*Rerandomizer, error) {
+	return defense.NewRerandomizer(p, size)
+}
+
+// NewExceptionRecorder returns a tracer recording exception events for the
+// rate-detection experiments; attach it to a process before running a
+// workload.
+func NewExceptionRecorder() *trace.Recorder {
+	rec := trace.NewRecorder()
+	rec.EnableExceptionLog()
+	return rec
+}

@@ -1,0 +1,73 @@
+package crashresist_test
+
+import (
+	"fmt"
+
+	"crashresist"
+)
+
+// The Linux pipeline on the Nginx model finds the recv primitive of §VI-C.
+func ExampleAnalyzeServer() {
+	srv, err := crashresist.Server("nginx")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	report, err := crashresist.AnalyzeServer(srv, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(report.Usable())
+	fmt.Println(report.Status["write"])
+	// Output:
+	// [recv]
+	// invalid(±)
+}
+
+// A discovered primitive probes memory without crashing the target.
+func ExampleScanner_Probe() {
+	br, err := crashresist.IE(crashresist.SmallBrowserParams())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	env, err := br.NewEnv(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := env.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	oracle, err := crashresist.NewIEOracle(env)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := crashresist.NewScanner(oracle)
+	res, err := s.Probe(0xdead0000) // never mapped in the user arena
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res, s.Stats.Crashes)
+	// Output: unmapped 0
+}
+
+// The §V-B funnel collapses to zero controllable primitives.
+func ExampleAnalyzeBrowserAPIs() {
+	br, err := crashresist.IE(crashresist.SmallBrowserParams())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := crashresist.AnalyzeBrowserAPIs(br, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(rep.Controllable)
+	// Output: 0
+}

@@ -1,0 +1,177 @@
+// Hiddenregion demonstrates the attack-versus-defense arms race around
+// information hiding (§II-B and §VII):
+//
+//  1. A browser hides a SafeStack-style region; the attacker's oracle finds
+//     it without a crash.
+//
+//  2. Runtime re-randomization moves the region; the leaked address goes
+//     stale and the attacker must re-scan.
+//
+//  3. The mapped-only exception policy terminates the scan at its first
+//     unmapped probe.
+//
+//  4. The fault-rate detector flags the scan long before it completes.
+//
+//     go run ./examples/hiddenregion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crashresist"
+	"crashresist/internal/vm"
+)
+
+const regionSize = 32 * 4096
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := actOne(); err != nil {
+		return fmt.Errorf("act 1: %w", err)
+	}
+	if err := actTwo(); err != nil {
+		return fmt.Errorf("act 2: %w", err)
+	}
+	if err := actThree(); err != nil {
+		return fmt.Errorf("act 3: %w", err)
+	}
+	return actFour()
+}
+
+// newFirefox boots a Firefox-model environment.
+func newFirefox(seed int64, policy vm.Policy) (*crashresist.BrowserEnv, error) {
+	br, err := crashresist.Firefox(crashresist.SmallBrowserParams())
+	if err != nil {
+		return nil, err
+	}
+	env, err := br.NewEnv(seed)
+	if err != nil {
+		return nil, err
+	}
+	env.Proc.Policy = policy
+	if err := env.Start(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+func actOne() error {
+	fmt.Println("--- act 1: crash resistance defeats information hiding ---")
+	env, err := newFirefox(1, vm.Policy{})
+	if err != nil {
+		return err
+	}
+	hidden, err := crashresist.PlantHiddenRegion(env.Proc, regionSize)
+	if err != nil {
+		return err
+	}
+	o, err := crashresist.NewFirefoxOracle(env)
+	if err != nil {
+		return err
+	}
+	s := crashresist.NewScanner(o)
+	base, err := s.LocateHiddenRegion(hidden-16*regionSize, hidden+16*regionSize, regionSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hidden region found at %#x in %d probes, %d crashes\n\n",
+		base, s.Stats.Probes, s.Stats.Crashes)
+	return nil
+}
+
+func actTwo() error {
+	fmt.Println("--- act 2: re-randomization stales the leak ---")
+	env, err := newFirefox(2, vm.Policy{})
+	if err != nil {
+		return err
+	}
+	rr, err := crashresist.NewRerandomizer(env.Proc, regionSize)
+	if err != nil {
+		return err
+	}
+	o, err := crashresist.NewFirefoxOracle(env)
+	if err != nil {
+		return err
+	}
+	leaked := rr.Base()
+	res, err := o.Probe(leaked)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe of leaked base %#x before move: %v\n", leaked, res)
+	if err := rr.Move(); err != nil {
+		return err
+	}
+	res, err = o.Probe(leaked)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe of stale base %#x after move:  %v (region now at a new secret base)\n\n",
+		leaked, res)
+	return nil
+}
+
+func actThree() error {
+	fmt.Println("--- act 3: mapped-only AV policy kills the scan ---")
+	env, err := newFirefox(3, crashresist.MappedOnlyPolicy())
+	if err != nil {
+		return err
+	}
+	// Guard-page optimizations still work ...
+	if _, err := env.Call("xul.dll", "asmjs_run", 5); err != nil {
+		return err
+	}
+	fmt.Println("asm.js guard-page faults: still handled")
+	// ... but the first unmapped probe is fatal.
+	o, err := crashresist.NewFirefoxOracle(env)
+	if err != nil {
+		return err
+	}
+	o.Probe(0xdead0000)
+	fmt.Printf("first unmapped probe: process state = %v\n\n", env.Proc.State)
+	return nil
+}
+
+func actFour() error {
+	fmt.Println("--- act 4: fault-rate detection flags the scan ---")
+	env, err := newFirefox(4, vm.Policy{})
+	if err != nil {
+		return err
+	}
+	rec := crashresist.NewExceptionRecorder()
+	rec.Attach(env.Proc)
+	det := crashresist.DefaultRateDetector()
+
+	if err := env.Browse(); err != nil {
+		return err
+	}
+	fmt.Printf("normal browsing: peak AV rate %d (detected: %v)\n",
+		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
+
+	rec.ResetExceptions()
+	if _, err := env.Call("xul.dll", "asmjs_run", 20); err != nil {
+		return err
+	}
+	fmt.Printf("asm.js stress:   peak AV rate %d (detected: %v)\n",
+		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
+
+	rec.ResetExceptions()
+	o, err := crashresist.NewFirefoxOracle(env)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 128; i++ {
+		if _, err := o.Probe(0xdead0000 + uint64(i)*0x1000); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("scanning attack: peak AV rate %d (detected: %v)\n",
+		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
+	return nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: discover a crash-resistant primitive in one server and use it
+// as a memory oracle — the paper's complete loop in under a minute.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crashresist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Build the Nginx 1.9 model — a real M64 binary with the
+	//    connection-buffer architecture of §VI-C.
+	srv, err := crashresist.Server("nginx")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target: %s (%d bytes of code, %d functions)\n",
+		srv.Name, len(srv.Image.Text), len(srv.Image.Symbols))
+
+	// 2. Run the discovery pipeline: taint-tracked test suite, candidate
+	//    extraction, corruption validation.
+	report, err := crashresist.AnalyzeServer(srv, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndiscovery results:")
+	for _, f := range report.Findings {
+		fmt.Printf("  %-10s → %-20s (%s)\n", f.Syscall, f.Status, f.Detail)
+	}
+	usable := report.Usable()
+	if len(usable) == 0 {
+		return fmt.Errorf("no usable primitive found")
+	}
+	fmt.Printf("\nusable crash-resistant primitive: %s\n", usable[0])
+
+	// 3. Weaponize it: boot a victim instance, hide a SafeStack-style
+	//    region, and let the oracle find it without crashing the server.
+	env, err := srv.NewEnv(42)
+	if err != nil {
+		return err
+	}
+	const regionSize = 32 * 4096
+	hidden, err := crashresist.PlantHiddenRegion(env.Proc, regionSize)
+	if err != nil {
+		return err
+	}
+
+	scanner := crashresist.NewScanner(crashresist.NewNginxOracle(env))
+	base, err := scanner.LocateHiddenRegion(hidden-16*regionSize, hidden+16*regionSize, regionSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprobing via %s:\n", scanner.Oracle.Name())
+	fmt.Printf("  hidden region located at %#x (truth: %#x)\n", base, hidden)
+	fmt.Printf("  probes: %d, crashes: %d\n", scanner.Stats.Probes, scanner.Stats.Crashes)
+	if !srv.ServiceCheck(env) {
+		return fmt.Errorf("server stopped serving")
+	}
+	fmt.Println("  server still serves clients — the scan was invisible")
+	return nil
+}

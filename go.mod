@@ -1,0 +1,3 @@
+module crashresist
+
+go 1.22

@@ -1,0 +1,551 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+)
+
+// Assemble parses M64 assembler text and builds a CRX image. The syntax is
+// line oriented; ';' starts a comment. Directives:
+//
+//	.module NAME exe|dll        image name and kind (required, first)
+//	.entry LABEL                executable entry point
+//	.func NAME / .endfunc       function span (defines label NAME)
+//	.export NAME SYMBOL         export a code label or data/bss symbol
+//	.data NAME str:"..."        initialized data (string, supports \n \0 \\ \")
+//	.data NAME u64:VALUE        8-byte little-endian value
+//	.data NAME zero:SIZE        SIZE zero bytes of initialized data
+//	.dataptr NAME TARGET        8-byte pointer to a symbol (load-time reloc)
+//	.bss NAME SIZE              zero-initialized storage
+//	.guard FUNC BEGIN END FILTER TARGET
+//	                            scope-table entry; FILTER may be 'catchall'
+//
+// Labels are "name:" on their own line or before an instruction.
+// Instructions use the disassembler's mnemonics:
+//
+//	mov r1, r2        mov r1, 0x42      add/sub/and/or/xor/shl/shr/mul/div
+//	cmp r1, 7         test r1, r2       not r1      neg r1
+//	load8 r1, [r2+8]  store4 [r2-4], r3 (widths 1/2/4/8)
+//	lea r1, sym       push r1           pop r1
+//	jmp label         jz/jnz/jl/jge/jle/jg/jb/jae label
+//	call label        callr r1          jmpr r1
+//	calli api:NAME    calli mod.dll!sym
+//	syscall  yield  nop  halt  ret      raise 0xC0000005
+func Assemble(source string) (*bin.Image, error) {
+	p := &textParser{}
+	for i, raw := range strings.Split(source, "\n") {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if p.b == nil {
+		return nil, fmt.Errorf("missing .module directive")
+	}
+	return p.b.Build()
+}
+
+type textParser struct {
+	b      *Builder
+	inFunc bool
+}
+
+func (p *textParser) line(raw string) error {
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return nil
+	}
+
+	if strings.HasPrefix(line, ".") {
+		return p.directive(line)
+	}
+	if p.b == nil {
+		return fmt.Errorf("code before .module")
+	}
+
+	// Leading label?
+	if i := strings.IndexByte(line, ':'); i >= 0 && isIdent(line[:i]) && !strings.Contains(line[:i], " ") {
+		p.b.Label(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	return p.instruction(line)
+}
+
+func (p *textParser) directive(line string) error {
+	fields := splitFields(line)
+	switch fields[0] {
+	case ".module":
+		if p.b != nil {
+			return fmt.Errorf("duplicate .module")
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf(".module NAME exe|dll")
+		}
+		kind := bin.KindExecutable
+		switch fields[2] {
+		case "exe":
+		case "dll":
+			kind = bin.KindLibrary
+		default:
+			return fmt.Errorf("unknown module kind %q", fields[2])
+		}
+		p.b = NewBuilder(fields[1], kind)
+		return nil
+	}
+	if p.b == nil {
+		return fmt.Errorf("%s before .module", fields[0])
+	}
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry LABEL")
+		}
+		p.b.Entry(fields[1])
+	case ".func":
+		if len(fields) != 2 {
+			return fmt.Errorf(".func NAME")
+		}
+		if p.inFunc {
+			return fmt.Errorf("nested .func")
+		}
+		p.inFunc = true
+		p.b.Func(fields[1])
+	case ".endfunc":
+		if !p.inFunc {
+			return fmt.Errorf(".endfunc without .func")
+		}
+		p.inFunc = false
+		p.b.EndFunc()
+	case ".export":
+		if len(fields) != 3 {
+			return fmt.Errorf(".export NAME SYMBOL")
+		}
+		p.b.Export(fields[1], fields[2])
+	case ".data":
+		if len(fields) < 3 {
+			return fmt.Errorf(".data NAME kind:value")
+		}
+		return p.data(fields[1], strings.Join(fields[2:], " "))
+	case ".dataptr":
+		if len(fields) != 3 {
+			return fmt.Errorf(".dataptr NAME TARGET")
+		}
+		p.b.DataPtr(fields[1], fields[2])
+	case ".bss":
+		if len(fields) != 3 {
+			return fmt.Errorf(".bss NAME SIZE")
+		}
+		size, err := parseUint(fields[2])
+		if err != nil {
+			return err
+		}
+		p.b.BSS(fields[1], uint32(size))
+	case ".guard":
+		if len(fields) != 6 {
+			return fmt.Errorf(".guard FUNC BEGIN END FILTER TARGET")
+		}
+		filter := fields[4]
+		if filter == "catchall" {
+			filter = CatchAll
+		}
+		p.b.Guard(fields[1], fields[2], fields[3], filter, fields[5])
+	default:
+		return fmt.Errorf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (p *textParser) data(name, spec string) error {
+	switch {
+	case strings.HasPrefix(spec, "str:"):
+		s, err := unquote(strings.TrimPrefix(spec, "str:"))
+		if err != nil {
+			return err
+		}
+		p.b.Data(name, []byte(s))
+	case strings.HasPrefix(spec, "u64:"):
+		v, err := parseUint(strings.TrimPrefix(spec, "u64:"))
+		if err != nil {
+			return err
+		}
+		p.b.DataU64(name, v)
+	case strings.HasPrefix(spec, "zero:"):
+		n, err := parseUint(strings.TrimPrefix(spec, "zero:"))
+		if err != nil {
+			return err
+		}
+		p.b.Data(name, make([]byte, n))
+	default:
+		return fmt.Errorf("unknown data kind in %q (want str:/u64:/zero:)", spec)
+	}
+	return nil
+}
+
+// instruction parses one mnemonic line.
+func (p *textParser) instruction(line string) error {
+	mnem := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	ops := splitOperands(rest)
+	b := p.b
+
+	switch mnem {
+	case "nop":
+		b.Nop()
+	case "halt":
+		b.Halt()
+	case "ret":
+		b.Ret()
+	case "syscall":
+		b.Syscall()
+	case "yield":
+		b.Yield()
+
+	case "push", "pop", "not", "neg", "callr", "jmpr":
+		if len(ops) != 1 {
+			return fmt.Errorf("%s takes one register", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		switch mnem {
+		case "push":
+			b.Push(r)
+		case "pop":
+			b.Pop(r)
+		case "not":
+			b.Not(r)
+		case "neg":
+			b.Neg(r)
+		case "callr":
+			b.CallR(r)
+		case "jmpr":
+			b.JmpR(r)
+		}
+
+	case "mov", "add", "sub", "and", "or", "xor", "shl", "shr", "mul", "div", "cmp", "test":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s takes two operands", mnem)
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if src, err := parseReg(ops[1]); err == nil {
+			return p.aluRR(mnem, dst, src)
+		}
+		imm, err := parseInt(ops[1])
+		if err != nil {
+			return fmt.Errorf("%s: bad operand %q", mnem, ops[1])
+		}
+		return p.aluRI(mnem, dst, imm)
+
+	case "load1", "load2", "load4", "load8":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s dst, [base+disp]", mnem)
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Load(int(mnem[4]-'0'), dst, base, disp)
+	case "store1", "store2", "store4", "store8":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s [base+disp], src", mnem)
+		}
+		base, disp, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Store(int(mnem[5]-'0'), base, disp, src)
+
+	case "lea":
+		if len(ops) != 2 {
+			return fmt.Errorf("lea reg, symbol")
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		// LeaData resolves code labels, data and bss symbols alike.
+		b.LeaData(r, strings.TrimPrefix(ops[1], "@"))
+
+	case "jmp", "jz", "jnz", "jl", "jge", "jle", "jg", "jb", "jae", "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("%s label", mnem)
+		}
+		label := ops[0]
+		switch mnem {
+		case "jmp":
+			b.Jmp(label)
+		case "jz":
+			b.Jz(label)
+		case "jnz":
+			b.Jnz(label)
+		case "jl":
+			b.Jl(label)
+		case "jge":
+			b.Jge(label)
+		case "jle":
+			b.Jle(label)
+		case "jg":
+			b.Jg(label)
+		case "jb":
+			b.Jb(label)
+		case "jae":
+			b.Jae(label)
+		case "call":
+			b.Call(label)
+		}
+
+	case "calli":
+		if len(ops) != 1 {
+			return fmt.Errorf("calli api:NAME or calli mod!sym")
+		}
+		switch {
+		case strings.HasPrefix(ops[0], "api:"):
+			b.CallImport("", strings.TrimPrefix(ops[0], "api:"))
+		case strings.Contains(ops[0], "!"):
+			parts := strings.SplitN(ops[0], "!", 2)
+			b.CallImport(parts[0], parts[1])
+		default:
+			return fmt.Errorf("calli operand %q (want api:NAME or mod!sym)", ops[0])
+		}
+
+	case "raise":
+		if len(ops) != 1 {
+			return fmt.Errorf("raise CODE")
+		}
+		code, err := parseUint(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Raise(uint32(code))
+
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+func (p *textParser) aluRR(mnem string, dst, src isa.Register) error {
+	switch mnem {
+	case "mov":
+		p.b.MovRR(dst, src)
+	case "add":
+		p.b.AddRR(dst, src)
+	case "sub":
+		p.b.SubRR(dst, src)
+	case "and":
+		p.b.AndRR(dst, src)
+	case "or":
+		p.b.OrRR(dst, src)
+	case "xor":
+		p.b.XorRR(dst, src)
+	case "shl":
+		p.b.ShlRR(dst, src)
+	case "shr":
+		p.b.ShrRR(dst, src)
+	case "mul":
+		p.b.MulRR(dst, src)
+	case "div":
+		p.b.DivRR(dst, src)
+	case "cmp":
+		p.b.CmpRR(dst, src)
+	case "test":
+		p.b.TestRR(dst, src)
+	}
+	return nil
+}
+
+func (p *textParser) aluRI(mnem string, dst isa.Register, imm int64) error {
+	switch mnem {
+	case "mov":
+		p.b.MovRI(dst, uint64(imm))
+	case "add":
+		p.b.AddRI(dst, int32(imm))
+	case "sub":
+		p.b.SubRI(dst, int32(imm))
+	case "and":
+		p.b.AndRI(dst, int32(imm))
+	case "or":
+		p.b.OrRI(dst, int32(imm))
+	case "xor":
+		p.b.XorRI(dst, int32(imm))
+	case "shl":
+		p.b.ShlRI(dst, int32(imm))
+	case "shr":
+		p.b.ShrRI(dst, int32(imm))
+	case "mul":
+		p.b.MulRI(dst, int32(imm))
+	case "div":
+		return fmt.Errorf("div takes a register source")
+	case "cmp":
+		p.b.CmpRI(dst, int32(imm))
+	case "test":
+		p.b.TestRI(dst, int32(imm))
+	}
+	return nil
+}
+
+// --- lexical helpers ---
+
+func splitFields(s string) []string {
+	// Fields, but keep quoted strings intact for .data.
+	var out []string
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		if i := strings.IndexAny(s, " \t"); i >= 0 && !strings.Contains(s[:i], `"`) {
+			out = append(out, s[:i])
+			s = s[i:]
+			continue
+		}
+		out = append(out, s)
+		break
+	}
+	return out
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseReg(s string) (isa.Register, error) {
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 16 {
+			return isa.Register(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseMem(s string) (isa.Register, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, dispPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i >= 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, dispPart = inner[:i], inner[i+1:]
+	}
+	base, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	var disp int64
+	if dispPart != "" {
+		disp, err = parseInt(strings.TrimSpace(dispPart))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return base, int32(sign * disp), nil
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("string literal must be quoted: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 't':
+			out.WriteByte('\t')
+		case '0':
+			out.WriteByte(0)
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out.String(), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

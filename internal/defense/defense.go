@@ -1,0 +1,138 @@
+// Package defense implements the countermeasures of §VII-C and the
+// re-randomization defense of §II-B, together with the measurement hooks
+// the defense experiments use:
+//
+//   - RateDetector: anomaly detection on the access-violation rate. Normal
+//     browsing produces none; asm.js-style workloads produce short bursts;
+//     scanning attacks produce orders of magnitude more.
+//   - MappedOnlyPolicy: the system-level policy that makes unmapped access
+//     violations unrecoverable while keeping guard-page tricks working.
+//   - Rerandomizer: periodically relocates a hidden region, invalidating an
+//     attacker's partial scan results.
+package defense
+
+import (
+	"fmt"
+
+	"crashresist/internal/mem"
+	"crashresist/internal/trace"
+	"crashresist/internal/vm"
+)
+
+// RateDetector flags processes whose handled-fault rate exceeds a threshold
+// within a sliding window of virtual time.
+type RateDetector struct {
+	// Window is the sliding-window width in virtual ticks.
+	Window uint64
+	// Threshold is the number of access-violation events within one
+	// window that triggers detection.
+	Threshold uint64
+}
+
+// DefaultRateDetector returns the calibration from §VII-C: the asm.js
+// stress test produced bursts of up to 20 faults, so the threshold sits
+// comfortably above that peak while real scans exceed it by orders of
+// magnitude.
+func DefaultRateDetector() RateDetector {
+	return RateDetector{Window: 1_000_000, Threshold: 64}
+}
+
+// Peak returns the maximum number of access-violation events observed in
+// any window.
+func (d RateDetector) Peak(events []trace.ExcEvent) uint64 {
+	return trace.RatePerSecond(filterAV(events), d.Window)
+}
+
+// Detect reports whether the event stream crosses the threshold.
+func (d RateDetector) Detect(events []trace.ExcEvent) bool {
+	return d.Peak(events) > d.Threshold
+}
+
+func filterAV(events []trace.ExcEvent) []trace.ExcEvent {
+	out := make([]trace.ExcEvent, 0, len(events))
+	for _, e := range events {
+		if e.Code == vm.ExcAccessViolation {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MappedOnlyPolicy returns the VM policy that terminates the process on any
+// unmapped access violation, before any handler runs — §VII-C's
+// "restricting access violations". Faults on mapped-but-protected pages
+// (guard-page optimizations) remain recoverable.
+func MappedOnlyPolicy() vm.Policy {
+	return vm.Policy{MappedOnlyAV: true}
+}
+
+// StealthScanTicks quantifies §VII-C's closing argument: an attacker who
+// stays below the detector's threshold can issue at most Threshold faulting
+// probes per Window, so covering the given number of probes needs at least
+// the returned virtual time. With realistic windows this "slows the scan to
+// a level where the duration will most likely be too high to be practical".
+func (d RateDetector) StealthScanTicks(probes uint64) uint64 {
+	if probes == 0 || d.Threshold == 0 {
+		return 0
+	}
+	windows := (probes + d.Threshold - 1) / d.Threshold
+	return windows * d.Window
+}
+
+// ProbesToCover returns how many stride-sized probes cover an address range
+// — the scan budget the paper's entropy discussion trades against stride.
+func ProbesToCover(rangeBytes, stride uint64) uint64 {
+	if stride == 0 {
+		return 0
+	}
+	return (rangeBytes + stride - 1) / stride
+}
+
+// Rerandomizer owns a hidden region and relocates it on demand, modelling
+// runtime re-randomization. Only the defense knows the current base.
+type Rerandomizer struct {
+	proc *vm.Process
+	size uint64
+	base uint64
+	// Moves counts completed relocations.
+	Moves int
+}
+
+// NewRerandomizer plants the initial hidden region.
+func NewRerandomizer(p *vm.Process, size uint64) (*Rerandomizer, error) {
+	size = mem.RoundUp(size)
+	base, err := p.Alloc.Alloc(size, mem.PermRW)
+	if err != nil {
+		return nil, fmt.Errorf("rerandomizer: %w", err)
+	}
+	return &Rerandomizer{proc: p, size: size, base: base}, nil
+}
+
+// Base returns the current (secret) region base.
+func (r *Rerandomizer) Base() uint64 { return r.base }
+
+// Size returns the region size.
+func (r *Rerandomizer) Size() uint64 { return r.size }
+
+// Move relocates the region: contents are copied to a fresh randomized
+// mapping and the old one disappears, so any address an attacker learned is
+// stale.
+func (r *Rerandomizer) Move() error {
+	contents, err := r.proc.AS.Read(r.base, r.size)
+	if err != nil {
+		return fmt.Errorf("rerandomizer read: %w", err)
+	}
+	newBase, err := r.proc.Alloc.Alloc(r.size, mem.PermRW)
+	if err != nil {
+		return fmt.Errorf("rerandomizer alloc: %w", err)
+	}
+	if err := r.proc.AS.Write(newBase, contents); err != nil {
+		return err
+	}
+	if err := r.proc.AS.Unmap(r.base, r.size); err != nil {
+		return err
+	}
+	r.base = newBase
+	r.Moves++
+	return nil
+}

@@ -1,0 +1,299 @@
+package defense
+
+import (
+	"testing"
+
+	"crashresist/internal/oracle"
+	"crashresist/internal/targets"
+	"crashresist/internal/trace"
+	"crashresist/internal/vm"
+)
+
+func avEvents(clocks ...uint64) []trace.ExcEvent {
+	out := make([]trace.ExcEvent, len(clocks))
+	for i, c := range clocks {
+		out[i] = trace.ExcEvent{Clock: c, Code: vm.ExcAccessViolation}
+	}
+	return out
+}
+
+func TestRateDetectorThresholds(t *testing.T) {
+	d := RateDetector{Window: 100, Threshold: 3}
+
+	if d.Detect(nil) {
+		t.Error("empty stream detected")
+	}
+	// Burst of 3 within the window: at threshold, not above.
+	if d.Detect(avEvents(1, 2, 3)) {
+		t.Error("at-threshold burst detected")
+	}
+	// Burst of 4: above.
+	if !d.Detect(avEvents(1, 2, 3, 4)) {
+		t.Error("above-threshold burst missed")
+	}
+	// Spread out: never above.
+	if d.Detect(avEvents(0, 1000, 2000, 3000, 4000)) {
+		t.Error("slow drip misdetected")
+	}
+	// Non-AV events are ignored.
+	evs := []trace.ExcEvent{
+		{Clock: 1, Code: vm.ExcDivideByZero},
+		{Clock: 2, Code: vm.ExcDivideByZero},
+		{Clock: 3, Code: vm.ExcDivideByZero},
+		{Clock: 4, Code: vm.ExcDivideByZero},
+	}
+	if d.Detect(evs) {
+		t.Error("non-AV events counted")
+	}
+}
+
+func TestRateDetectorOnWorkloads(t *testing.T) {
+	// The §VII-C experiment at test scale: browsing produces zero AVs,
+	// asm.js produces a burst below threshold, scanning exceeds it.
+	br, err := targets.Firefox(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := br.NewEnv(333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableExceptionLog()
+	rec.Attach(env.Proc)
+	if err := env.Start(); err != nil {
+		t.Fatal(err)
+	}
+	det := DefaultRateDetector()
+
+	// Baseline browse: no access violations at all.
+	if err := env.Browse(); err != nil {
+		t.Fatal(err)
+	}
+	browseEvents := rec.Exceptions()
+	if got := det.Peak(browseEvents); got != 0 {
+		t.Errorf("browse AV peak = %d, want 0", got)
+	}
+
+	// asm.js burst: 20 guard faults, under the threshold.
+	rec.ResetExceptions()
+	if _, err := env.Call("xul.dll", "asmjs_run", 20); err != nil {
+		t.Fatal(err)
+	}
+	asmEvents := rec.Exceptions()
+	peak := det.Peak(asmEvents)
+	if peak == 0 {
+		t.Error("asm.js produced no faults")
+	}
+	if det.Detect(asmEvents) {
+		t.Errorf("asm.js burst (peak %d) misdetected as attack", peak)
+	}
+
+	// Scanning attack: hundreds of probes, detected.
+	rec.ResetExceptions()
+	o, err := oracle.NewFirefoxOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := o.Probe(0xdead0000 + uint64(i)*0x1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scanEvents := rec.Exceptions()
+	if !det.Detect(scanEvents) {
+		t.Errorf("scan (peak %d) not detected", det.Peak(scanEvents))
+	}
+	if det.Peak(scanEvents) <= peak {
+		t.Errorf("scan peak %d not above asm.js peak %d", det.Peak(scanEvents), peak)
+	}
+}
+
+func TestMappedOnlyPolicyStopsScanning(t *testing.T) {
+	// With the policy on, the first unmapped probe kills the process —
+	// while the asm.js guard-page trick keeps working.
+	br, err := targets.Firefox(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := br.NewEnv(334)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Proc.Policy = MappedOnlyPolicy()
+	if err := env.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Guard-page faults (mapped, protected) still recoverable.
+	if _, err := env.Call("xul.dll", "asmjs_run", 5); err != nil {
+		t.Fatalf("asm.js under policy: %v (crash=%v)", err, env.Proc.Crash)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatal("guard faults crashed under policy")
+	}
+
+	// One unmapped probe is fatal.
+	o, err := oracle.NewFirefoxOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, probeErr := o.Probe(0xdead0000)
+	if env.Proc.State != vm.ProcCrashed {
+		t.Errorf("unmapped probe survived under policy (res=%v err=%v)", res, probeErr)
+	}
+}
+
+func TestRerandomizerInvalidatesLeak(t *testing.T) {
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 55})
+	r, err := NewRerandomizer(p, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := r.Base()
+	if err := p.AS.WriteUint(old, 8, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Move(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Base() == old {
+		t.Error("region did not move")
+	}
+	if p.AS.Mapped(old) {
+		t.Error("old region still mapped (stale address remains usable)")
+	}
+	v, err := p.AS.ReadUint(r.Base(), 8)
+	if err != nil || v != 0x1234 {
+		t.Errorf("contents lost: %#x %v", v, err)
+	}
+	if r.Moves != 1 {
+		t.Errorf("moves = %d", r.Moves)
+	}
+}
+
+// TestRerandomizationRace models §II-B's "moving target" argument: a scan
+// result goes stale when the defense moves the region, but a persistent
+// attacker who re-verifies and re-scans eventually wins between moves.
+func TestRerandomizationRace(t *testing.T) {
+	br, err := targets.Firefox(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := br.NewEnv(335)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const size = 32 * 4096
+	rr, err := NewRerandomizer(env.Proc, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := oracle.NewFirefoxOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker learns the base, the defense moves, the knowledge is
+	// stale.
+	leaked := rr.Base()
+	if res, _ := o.Probe(leaked); res != oracle.ProbeMapped {
+		t.Fatalf("fresh leak probe = %v", res)
+	}
+	if err := rr.Move(); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := o.Probe(leaked); res != oracle.ProbeUnmapped {
+		t.Fatalf("stale leak probe = %v, want unmapped", res)
+	}
+
+	// Persistent attacker: scan, verify, repeat. The defense moves after
+	// every scan; because the verify happens within the same "epoch",
+	// the attacker eventually catches the region between moves.
+	won := false
+	for round := 0; round < 8 && !won; round++ {
+		base := rr.Base() // epoch layout (unknown to attacker; used only to bound the window)
+		s := oracle.NewScanner(o)
+		found, err := s.LocateHiddenRegion(base-8*size, base+8*size, size)
+		if err != nil {
+			// Scan window missed after a move; try again.
+			if err := rr.Move(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Use the find immediately, before the next move.
+		if res, _ := o.Probe(found); res == oracle.ProbeMapped && found == rr.Base() {
+			won = true
+			break
+		}
+		if err := rr.Move(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !won {
+		t.Error("persistent attacker never caught the region between moves")
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatal("race crashed the browser")
+	}
+}
+
+func TestStealthScanTicks(t *testing.T) {
+	d := RateDetector{Window: 1000, Threshold: 10}
+	tests := []struct {
+		probes uint64
+		want   uint64
+	}{
+		{0, 0},
+		{1, 1000},
+		{10, 1000},
+		{11, 2000},
+		{100, 10_000},
+	}
+	for _, tt := range tests {
+		if got := d.StealthScanTicks(tt.probes); got != tt.want {
+			t.Errorf("StealthScanTicks(%d) = %d, want %d", tt.probes, got, tt.want)
+		}
+	}
+	if (RateDetector{}).StealthScanTicks(5) != 0 {
+		t.Error("zero threshold should yield 0")
+	}
+}
+
+func TestProbesToCover(t *testing.T) {
+	if ProbesToCover(1<<30, 1<<18) != 1<<12 {
+		t.Error("cover count wrong")
+	}
+	if ProbesToCover(100, 0) != 0 {
+		t.Error("zero stride should yield 0")
+	}
+	if ProbesToCover(100, 64) != 2 {
+		t.Error("rounding wrong")
+	}
+}
+
+// TestStealthScanIsImpractical checks the §VII-C conclusion numerically: a
+// detector calibrated above the asm.js burst still forces a sub-threshold
+// scan of a 47-bit user arena with SafeStack-sized strides to take years of
+// virtual time.
+func TestStealthScanIsImpractical(t *testing.T) {
+	det := DefaultRateDetector()
+	const (
+		arena  = uint64(1) << 43 // user address arena span
+		stride = uint64(8) << 20 // generous 8 MiB hidden region
+	)
+	probes := ProbesToCover(arena, stride)
+	ticks := det.StealthScanTicks(probes)
+	// One virtual second is 1e6 ticks; the stealth scan must need at
+	// least multiple virtual hours, orders of magnitude beyond the
+	// seconds an unthrottled scan takes.
+	const ticksPerHour = 3600 * 1_000_000
+	if ticks < 4*ticksPerHour {
+		t.Errorf("stealth scan = %d ticks (%.1f hours), expected impractically long",
+			ticks, float64(ticks)/ticksPerHour)
+	}
+}

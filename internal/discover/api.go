@@ -1,0 +1,289 @@
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"crashresist/internal/fuzz"
+	"crashresist/internal/isa"
+	"crashresist/internal/taint"
+	"crashresist/internal/targets"
+	"crashresist/internal/trace"
+	"crashresist/internal/vm"
+	"crashresist/internal/winapi"
+)
+
+// ExclusionReason classifies why a JS-reachable crash-resistant API cannot
+// be turned into a primitive — the three reasons of §V-B — or that it can.
+type ExclusionReason uint8
+
+// Reasons.
+const (
+	// ReasonStackTransient: the pointer argument is a short-lived stack
+	// location (query functions called with stack-allocated structs).
+	ReasonStackTransient ExclusionReason = iota + 1
+	// ReasonVolatile: the pointer value has no stored reference in
+	// memory, so an attacker's write primitive has nothing to target.
+	ReasonVolatile
+	// ReasonDerefOutside: the pointer is stored in corruptible memory,
+	// but the surrounding code dereferences it outside the
+	// crash-resistant function — corrupting it crashes the process.
+	ReasonDerefOutside
+	// ReasonControllable: the pointer is corruptible and the corrupted
+	// call survives — a usable primitive.
+	ReasonControllable
+	// ReasonUntriggered: the corrupted replay never exercised the call.
+	ReasonUntriggered
+)
+
+// String renders the reason.
+func (r ExclusionReason) String() string {
+	switch r {
+	case ReasonStackTransient:
+		return "stack-transient"
+	case ReasonVolatile:
+		return "volatile-pointer"
+	case ReasonDerefOutside:
+		return "deref-outside"
+	case ReasonControllable:
+		return "controllable"
+	case ReasonUntriggered:
+		return "untriggered"
+	default:
+		return "reason?"
+	}
+}
+
+// APIClassification is the final-stage result for one JS-context API.
+type APIClassification struct {
+	API        string
+	Reason     ExclusionReason
+	Provenance uint64 // pointer storage address (when one exists)
+	Detail     string
+}
+
+// APIFunnelReport reproduces the §V-B funnel.
+type APIFunnelReport struct {
+	Browser string
+	// The funnel: 20,672 → 11,521 → 400 → 25 → 12 → 0 in the paper.
+	Total          int // API functions in the corpus
+	WithPointer    int // with at least one documented pointer argument
+	CrashResistant int // surviving the invalid-pointer fuzzing battery
+	OnPath         int // crash-resistant and observed on the browse path
+	JSContext      int // of those, reachable from the scripting context
+	Controllable   int // of those, with a corruptible, safely-probing pointer
+
+	// OnPathAPIs and JSContextAPIs name the surviving functions.
+	OnPathAPIs    []string
+	JSContextAPIs []string
+	// Classifications explain each JS-context API's fate.
+	Classifications []APIClassification
+}
+
+// APIAnalyzer drives the Windows-API pipeline against a browser target.
+type APIAnalyzer struct {
+	Seed int64
+	// InvalidAddr overrides the corruption value.
+	InvalidAddr uint64
+}
+
+// Analyze runs fuzzing, call-site harvesting, context filtering and
+// controllability classification.
+func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
+	invalid := a.InvalidAddr
+	if invalid == 0 {
+		invalid = InvalidProbeAddr
+	}
+
+	// Stage 1-3: black-box fuzzing of the API corpus.
+	reg, err := winapi.GenerateCorpus(br.Params.API)
+	if err != nil {
+		return nil, err
+	}
+	fz := fuzz.New(reg, a.Seed)
+	sum, err := fz.FuzzAll()
+	if err != nil {
+		return nil, fmt.Errorf("fuzz corpus: %w", err)
+	}
+	resistant := make(map[string]bool)
+	for _, res := range sum.Results {
+		if res.CrashResistant {
+			resistant[res.Name] = true
+		}
+	}
+
+	report := &APIFunnelReport{
+		Browser:        br.Name,
+		Total:          sum.Total,
+		WithPointer:    sum.WithPointer,
+		CrashResistant: sum.CrashResistant,
+	}
+
+	// Stage 4-5: instrumented browse — call-site harvesting and context
+	// tagging.
+	obs, err := a.observeBrowse(br)
+	if err != nil {
+		return nil, fmt.Errorf("browse %s: %w", br.Name, err)
+	}
+	for name := range obs.called {
+		if resistant[name] {
+			report.OnPathAPIs = append(report.OnPathAPIs, name)
+			if obs.fromJS[name] {
+				report.JSContextAPIs = append(report.JSContextAPIs, name)
+			}
+		}
+	}
+	sort.Strings(report.OnPathAPIs)
+	sort.Strings(report.JSContextAPIs)
+	report.OnPath = len(report.OnPathAPIs)
+	report.JSContext = len(report.JSContextAPIs)
+
+	// Stage 6: pointer-argument controllability for the JS-context set.
+	for _, api := range report.JSContextAPIs {
+		cls, err := a.classify(br, api, obs.args[api], invalid)
+		if err != nil {
+			return nil, fmt.Errorf("classify %s: %w", api, err)
+		}
+		report.Classifications = append(report.Classifications, cls)
+		if cls.Reason == ReasonControllable {
+			report.Controllable++
+		}
+	}
+	return report, nil
+}
+
+// argObservation captures one API call's pointer-argument state.
+type argObservation struct {
+	value   uint64
+	provOK  bool
+	prov    uint64
+	onStack bool
+}
+
+type browseObservation struct {
+	called map[string]bool
+	fromJS map[string]bool
+	args   map[string]argObservation
+}
+
+// apiArgTracer extends the generic recorder with pointer-argument capture
+// at API call sites.
+type apiArgTracer struct {
+	*trace.Recorder
+
+	reg   *winapi.Registry
+	taint *taint.Engine
+	proc  *vm.Process
+	obs   *browseObservation
+}
+
+// OnAPICall records the first observation of each API's first pointer arg.
+func (a *apiArgTracer) OnAPICall(t *vm.Thread, callPC uint64, id uint32) {
+	a.Recorder.OnAPICall(t, callPC, id)
+	d, ok := a.reg.ByID(id)
+	if !ok {
+		return
+	}
+	a.obs.called[d.Name] = true
+	if a.stackInJS(t) {
+		a.obs.fromJS[d.Name] = true
+	}
+	if _, seen := a.obs.args[d.Name]; seen || len(d.PtrArgs) == 0 {
+		return
+	}
+	reg := isa.Register(1 + d.PtrArgs[0])
+	val := t.Reg(reg)
+	prov, provOK := a.taint.RegProvenance(t.ID, reg)
+	a.obs.args[d.Name] = argObservation{
+		value:   val,
+		provOK:  provOK,
+		prov:    prov,
+		onStack: t.OnStack(val) || (provOK && t.OnStack(prov)),
+	}
+}
+
+func (a *apiArgTracer) stackInJS(t *vm.Thread) bool {
+	for _, f := range t.Frames() {
+		if m, ok := a.proc.FindModule(f.FuncEntry); ok && m.Image.Name == "jscript9.dll" {
+			return true
+		}
+	}
+	return false
+}
+
+// observeBrowse runs one instrumented browse.
+func (a *APIAnalyzer) observeBrowse(br *targets.Browser) (*browseObservation, error) {
+	env, err := br.NewEnv(a.Seed)
+	if err != nil {
+		return nil, err
+	}
+	te := taint.New()
+	te.Attach(env.Proc)
+
+	rec := trace.NewRecorder()
+	rec.EnableAPIHarvest()
+	rec.AddContextModule("jscript9.dll")
+
+	obs := &browseObservation{
+		called: make(map[string]bool),
+		fromJS: make(map[string]bool),
+		args:   make(map[string]argObservation),
+	}
+	tracer := &apiArgTracer{Recorder: rec, reg: env.Reg, taint: te, proc: env.Proc, obs: obs}
+	rec.Attach(env.Proc)
+	env.Proc.Tracer = tracer
+
+	if err := env.Start(); err != nil {
+		return nil, err
+	}
+	if err := env.Browse(); err != nil {
+		return nil, err
+	}
+	return obs, nil
+}
+
+// classify decides an API's exclusion reason from its observed argument and
+// (when a corruptible pointer exists) a corrupted replay.
+func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64) (APIClassification, error) {
+	cls := APIClassification{API: api}
+	switch {
+	case obs.onStack:
+		cls.Reason = ReasonStackTransient
+		cls.Detail = fmt.Sprintf("pointer %#x lives on a thread stack", obs.value)
+		return cls, nil
+	case !obs.provOK:
+		cls.Reason = ReasonVolatile
+		cls.Detail = fmt.Sprintf("pointer %#x has no stored reference", obs.value)
+		return cls, nil
+	}
+	cls.Provenance = obs.prov
+
+	// Corrupted replay: rebuild the environment (same seed, same
+	// layout), corrupt the stored pointer, re-browse.
+	env, err := br.NewEnv(a.Seed)
+	if err != nil {
+		return cls, err
+	}
+	te := taint.New()
+	cor := &corruptingFlow{inner: te, as: env.Proc.AS, target: obs.prov, value: invalid}
+	env.Proc.Flow = cor
+	cor.corrupt()
+	if err := env.Start(); err != nil {
+		cls.Reason = ReasonDerefOutside
+		cls.Detail = fmt.Sprintf("corrupted startup crash: %v", env.Proc.Crash)
+		return cls, nil
+	}
+	browseErr := env.Browse()
+	switch {
+	case env.Proc.State == vm.ProcCrashed:
+		cls.Reason = ReasonDerefOutside
+		cls.Detail = fmt.Sprintf("pointer dereferenced outside the API: %v", env.Proc.Crash)
+	case browseErr != nil:
+		cls.Reason = ReasonUntriggered
+		cls.Detail = browseErr.Error()
+	default:
+		cls.Reason = ReasonControllable
+		cls.Detail = "corrupted call returned gracefully; probe primitive usable"
+	}
+	return cls, nil
+}

@@ -1,0 +1,217 @@
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"crashresist/internal/bin"
+	"crashresist/internal/seh"
+	"crashresist/internal/sym"
+	"crashresist/internal/targets"
+	"crashresist/internal/trace"
+)
+
+// ModuleSEH is one row of Tables II/III for a loaded module.
+type ModuleSEH struct {
+	Module string
+	// Table II columns.
+	Handlers   int // guarded code locations before symbolic execution
+	AVHandlers int // guarded by AV-accepting filters or catch-all, after SE
+	OnPath     int // of the accepting set, seen on the browse path
+	// Table III columns.
+	Filters        int // unique filter functions before SE
+	AVFilters      int // accepting access violations, after SE
+	UnknownFilters int // outside the symbolic executor's fragment (manual)
+	CatchAll       int // catch-all scope entries (not filter functions)
+}
+
+// SEHCandidate is one crash-resistant handler candidate on the execution
+// path — the set handed to manual vetting in the paper.
+type SEHCandidate struct {
+	Module   string
+	Scope    int
+	FuncName string
+	CatchAll bool
+	Hits     uint64
+}
+
+// SEHReport is the exception-handler pipeline result for one browser.
+type SEHReport struct {
+	Browser string
+	Modules []ModuleSEH
+	// Totals across all modules.
+	TotalModules    int
+	TotalHandlers   int
+	TotalFilters    int
+	TotalAVFilters  int
+	TotalAVHandlers int
+	TotalOnPath     int
+	// TriggerEvents counts executions of accepting guarded locations
+	// during the browse run (736,512 in the paper).
+	TriggerEvents uint64
+	// Candidates lists the on-path accepting handlers.
+	Candidates []SEHCandidate
+	// UnknownFilterModules lists modules whose filters need manual
+	// vetting (the §VII-A post-update IE case).
+	UnknownFilterModules []string
+	// VEHRegistered reports run-time vectored handlers present in the
+	// process that the scope-table pipeline cannot attribute to any
+	// static metadata (the §VII-A Firefox miss).
+	VEHRegistered int
+	// VEHFindings is the §VII-A *extension* the paper proposes: static
+	// discovery of AddVectoredExceptionHandler registrations with
+	// handler-argument recovery and symbolic classification.
+	VEHFindings []VEHFinding
+}
+
+// Row returns the module row by name.
+func (r *SEHReport) Row(module string) (ModuleSEH, bool) {
+	for _, m := range r.Modules {
+		if m.Module == module {
+			return m, true
+		}
+	}
+	return ModuleSEH{}, false
+}
+
+// SEHAnalyzer drives the exception-handler pipeline against a browser.
+type SEHAnalyzer struct {
+	Seed int64
+}
+
+// Analyze extracts every module's scope table, symbolically executes each
+// unique filter, runs an instrumented browse to collect coverage, and
+// cross-references the two.
+func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
+	env, err := br.NewEnv(a.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	rec.EnableCoverage()
+	rec.Attach(env.Proc)
+
+	if err := env.Start(); err != nil {
+		return nil, err
+	}
+	if err := env.Browse(); err != nil {
+		return nil, fmt.Errorf("browse: %w", err)
+	}
+	hits := rec.ScopeHits()
+
+	report := &SEHReport{Browser: br.Name, VEHRegistered: len(env.Proc.VEHandlers())}
+	report.VEHFindings = VEHScan(env.Proc)
+	exec := sym.NewExecutor(env.Proc)
+
+	for _, mod := range env.Proc.Modules() {
+		if mod.Image.Kind != bin.KindLibrary {
+			// The paper's per-DLL analysis covers libraries; the
+			// executable itself carries no scope tables here.
+			continue
+		}
+		report.TotalModules++
+		inv := seh.Extract(mod)
+		if len(inv.Handlers) == 0 {
+			// Analyzed, but nothing to report.
+			continue
+		}
+
+		// Classify each unique filter once.
+		verdicts := make(map[uint32]sym.Verdict, len(inv.Filters))
+		row := ModuleSEH{Module: mod.Image.Name, Handlers: len(inv.Handlers), Filters: len(inv.Filters)}
+		for _, f := range inv.Filters {
+			rep := exec.AnalyzeFilter(mod.VA(f))
+			verdicts[f] = rep.Verdict
+			switch rep.Verdict {
+			case sym.VerdictAccepts:
+				row.AVFilters++
+			case sym.VerdictUnknown:
+				row.UnknownFilters++
+			}
+		}
+
+		for _, h := range inv.Handlers {
+			accepting := false
+			if h.IsCatchAll() {
+				row.CatchAll++
+				accepting = true
+			} else if verdicts[h.Entry.Filter] == sym.VerdictAccepts {
+				accepting = true
+			}
+			if !accepting {
+				continue
+			}
+			row.AVHandlers++
+			key := trace.ScopeKey{Module: mod.Image.Name, Index: h.Index}
+			if n := hits[key]; n > 0 {
+				row.OnPath++
+				report.TriggerEvents += n
+				report.Candidates = append(report.Candidates, SEHCandidate{
+					Module:   mod.Image.Name,
+					Scope:    h.Index,
+					FuncName: h.FuncName,
+					CatchAll: h.IsCatchAll(),
+					Hits:     n,
+				})
+			}
+		}
+		if row.UnknownFilters > 0 {
+			report.UnknownFilterModules = append(report.UnknownFilterModules, mod.Image.Name)
+		}
+		report.Modules = append(report.Modules, row)
+		report.TotalHandlers += row.Handlers
+		report.TotalFilters += row.Filters
+		report.TotalAVFilters += row.AVFilters
+		report.TotalAVHandlers += row.AVHandlers
+		report.TotalOnPath += row.OnPath
+	}
+
+	sort.Slice(report.Candidates, func(i, j int) bool {
+		if report.Candidates[i].Module != report.Candidates[j].Module {
+			return report.Candidates[i].Module < report.Candidates[j].Module
+		}
+		return report.Candidates[i].Scope < report.Candidates[j].Scope
+	})
+	sort.Strings(report.UnknownFilterModules)
+	return report, nil
+}
+
+// PriorWorkFindings reproduces §VII-A: whether the pipeline rediscovers the
+// previously published primitives.
+type PriorWorkFindings struct {
+	// IECatchAllFound: the jscript9 MUTX::Enter catch-all scope entry is
+	// among the accepting candidates.
+	IECatchAllFound bool
+	// IEPostUpdateNeedsManual: the configuration-dependent filter calls
+	// another function, so symbolic execution reports it unknown.
+	IEPostUpdateNeedsManual bool
+	// FirefoxVEHMissed: a run-time vectored handler exists in the
+	// process but no scope-table candidate corresponds to it.
+	FirefoxVEHMissed bool
+	// FirefoxVEHFoundByExtension: the §VII-A extension (static scanning
+	// for AddVectoredExceptionHandler call sites) recovers the handler
+	// and classifies it as resolving access violations.
+	FirefoxVEHFoundByExtension bool
+}
+
+// PriorWork inspects a report for the §VII-A verification cases.
+func PriorWork(rep *SEHReport) PriorWorkFindings {
+	var out PriorWorkFindings
+	for _, c := range rep.Candidates {
+		if c.Module == "jscript9.dll" && c.CatchAll && c.FuncName == "mutx_enter" {
+			out.IECatchAllFound = true
+		}
+	}
+	for _, m := range rep.UnknownFilterModules {
+		if m == "jscript9.dll" {
+			out.IEPostUpdateNeedsManual = true
+		}
+	}
+	out.FirefoxVEHMissed = rep.VEHRegistered > 0
+	for _, f := range rep.VEHFindings {
+		if f.Resolved && f.Verdict == sym.VerdictAccepts {
+			out.FirefoxVEHFoundByExtension = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,446 @@
+// Package discover implements the paper's contribution: the three
+// semi-automated pipelines that locate crash-resistant primitives in binary
+// executables.
+//
+//   - SyscallAnalyzer (§IV-A): runs a server's test suite under byte-granular
+//     taint tracking, flags EFAULT-capable syscalls whose pointer arguments
+//     originate in attacker-writable memory, then validates each candidate by
+//     corrupting the pointer at its storage location and replaying the suite
+//     — reproducing Table I.
+//   - APIAnalyzer (§IV-B): black-box fuzzes the platform API corpus, harvests
+//     call sites from an instrumented browser run, filters for calls
+//     reachable from a scripting context, and classifies pointer-argument
+//     controllability — reproducing the §V-B funnel.
+//   - SEHAnalyzer (§IV-C): statically extracts scope tables, symbolically
+//     executes every filter against the access-violation code, and
+//     cross-references survivors with execution coverage — reproducing
+//     Tables II and III.
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+	"crashresist/internal/mem"
+	"crashresist/internal/targets"
+	"crashresist/internal/vm"
+)
+
+// InvalidProbeAddr is the unmapped address used to invalidate candidate
+// pointers during validation. The user arena starts at 1<<32, so this is
+// never mapped.
+const InvalidProbeAddr = 0x00000000dead0000
+
+// SyscallStatus classifies one (server, syscall) cell of Table I.
+type SyscallStatus uint8
+
+// Statuses, in increasing order of attacker value.
+const (
+	// StatusNotObserved: the syscall never executed during the suite.
+	StatusNotObserved SyscallStatus = iota + 1
+	// StatusObserved: executed, but no pointer argument is corruptible
+	// (all pointer operands are code-derived or register-only).
+	StatusObserved
+	// StatusUntriggered: a corruptible pointer exists, but the corrupted
+	// replay never drove the syscall into its EFAULT path, so nothing can
+	// be concluded (the candidate is unconfirmed).
+	StatusUntriggered
+	// StatusInvalidCandidate: corrupting the pointer crashes the server —
+	// the "±" cells of Table I.
+	StatusInvalidCandidate
+	// StatusFalsePositive: the naive aliveness validation passes but the
+	// service check shows the server no longer processes connections —
+	// Table I's Memcached epoll_wait entry.
+	StatusFalsePositive
+	// StatusUsable: the corrupted probe returns -EFAULT, the server stays
+	// alive and keeps serving — a crash-resistant primitive ("⊕").
+	StatusUsable
+)
+
+// String renders the status as in the paper's table legend.
+func (s SyscallStatus) String() string {
+	switch s {
+	case StatusNotObserved:
+		return "not-observed"
+	case StatusObserved:
+		return "observed"
+	case StatusUntriggered:
+		return "untriggered"
+	case StatusInvalidCandidate:
+		return "invalid(±)"
+	case StatusFalsePositive:
+		return "false-positive(✗)"
+	case StatusUsable:
+		return "usable(⊕)"
+	default:
+		return "status?"
+	}
+}
+
+// Mark returns the compact Table I cell mark.
+func (s SyscallStatus) Mark() string {
+	switch s {
+	case StatusNotObserved:
+		return ""
+	case StatusObserved:
+		return "·"
+	case StatusUntriggered:
+		return "?"
+	case StatusInvalidCandidate:
+		return "±"
+	case StatusFalsePositive:
+		return "✗"
+	case StatusUsable:
+		return "⊕"
+	default:
+		return "?"
+	}
+}
+
+// Candidate is one corruptible pointer argument observed at a syscall.
+type Candidate struct {
+	Syscall    string
+	Num        uint64
+	ArgIndex   int
+	Provenance uint64 // memory address the pointer value was loaded from
+	TaintMask  uint64 // network-input taint labels on the pointer value
+	Count      int    // times observed
+}
+
+// Finding is a validated candidate.
+type Finding struct {
+	Candidate
+	Status SyscallStatus
+	Detail string
+}
+
+// SyscallReport is the per-server Table I result.
+type SyscallReport struct {
+	Server string
+	// Status holds the final per-syscall classification for every
+	// EFAULT-capable syscall.
+	Status map[string]SyscallStatus
+	// Findings holds every validated candidate with detail.
+	Findings []Finding
+	// ObservedOnly lists EFAULT-capable syscalls that ran without any
+	// corruptible pointer.
+	ObservedOnly []string
+}
+
+// Usable returns the names of syscalls classified usable.
+func (r *SyscallReport) Usable() []string {
+	var out []string
+	for name, st := range r.Status {
+		if st == StatusUsable {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyscallAnalyzer drives the Linux pipeline for one or more servers.
+type SyscallAnalyzer struct {
+	// Seed fixes ASLR so provenance addresses stay valid between the
+	// observation run and validation replays.
+	Seed int64
+	// InvalidAddr overrides the corruption value (default
+	// InvalidProbeAddr).
+	InvalidAddr uint64
+}
+
+// Analyze runs observation plus per-candidate validation for one server.
+func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
+	invalid := a.InvalidAddr
+	if invalid == 0 {
+		invalid = InvalidProbeAddr
+	}
+
+	observed, candidates, err := a.observe(srv)
+	if err != nil {
+		return nil, fmt.Errorf("observe %s: %w", srv.Name, err)
+	}
+
+	report := &SyscallReport{
+		Server: srv.Name,
+		Status: make(map[string]SyscallStatus),
+	}
+	for _, spec := range kernel.Specs() {
+		if spec.CanEFAULT {
+			report.Status[spec.Name] = StatusNotObserved
+		}
+	}
+	for name := range observed {
+		if _, ok := report.Status[name]; ok {
+			report.Status[name] = StatusObserved
+		}
+	}
+
+	for _, cand := range candidates {
+		finding, err := a.validate(srv, cand, invalid)
+		if err != nil {
+			return nil, fmt.Errorf("validate %s/%s: %w", srv.Name, cand.Syscall, err)
+		}
+		report.Findings = append(report.Findings, finding)
+		if finding.Status > report.Status[cand.Syscall] {
+			report.Status[cand.Syscall] = finding.Status
+		}
+	}
+
+	for name, st := range report.Status {
+		if st == StatusObserved {
+			report.ObservedOnly = append(report.ObservedOnly, name)
+		}
+	}
+	sort.Strings(report.ObservedOnly)
+	sort.Slice(report.Findings, func(i, j int) bool {
+		if report.Findings[i].Syscall != report.Findings[j].Syscall {
+			return report.Findings[i].Syscall < report.Findings[j].Syscall
+		}
+		return report.Findings[i].ArgIndex < report.Findings[j].ArgIndex
+	})
+	return report, nil
+}
+
+// observe runs the suite once under taint tracking, collecting observed
+// EFAULT-capable syscalls and corruptible-pointer candidates.
+func (a *SyscallAnalyzer) observe(srv *targets.Server) (map[string]bool, []Candidate, error) {
+	env, err := srv.NewEnvNoStart(a.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	observed := make(map[string]bool)
+	candByKey := make(map[string]*Candidate)
+
+	obs := &observationSink{onEnter: func(ev kernel.Event) {
+		spec, ok := kernel.SpecFor(ev.Num)
+		if !ok || !spec.CanEFAULT {
+			return
+		}
+		observed[spec.Name] = true
+		for _, pa := range spec.PtrArgs {
+			reg := isa.Register(1 + pa.Index)
+			prov, ok := env.Taint.RegProvenance(ev.Thread.ID, reg)
+			if !ok {
+				continue
+			}
+			perm, mapped := env.Proc.AS.PermAt(prov)
+			if !mapped || perm&mem.PermWrite == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s/%d", spec.Name, pa.Index)
+			if c, dup := candByKey[key]; dup {
+				c.Count++
+				c.TaintMask |= env.Taint.RegTaint(ev.Thread.ID, reg)
+				continue
+			}
+			candByKey[key] = &Candidate{
+				Syscall:    spec.Name,
+				Num:        spec.Num,
+				ArgIndex:   pa.Index,
+				Provenance: prov,
+				TaintMask:  env.Taint.RegTaint(ev.Thread.ID, reg),
+				Count:      1,
+			}
+		}
+	}}
+	env.Kern.SetObserver(obs)
+
+	if err := env.Boot(); err != nil {
+		// A server that cannot even boot yields an empty observation.
+		return observed, nil, nil
+	}
+	if err := srv.Suite(env); err != nil {
+		return nil, nil, err
+	}
+
+	keys := make([]string, 0, len(candByKey))
+	for k := range candByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Candidate, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *candByKey[k])
+	}
+	return observed, out, nil
+}
+
+// validate replays the suite with the candidate's pointer storage corrupted
+// and classifies the outcome.
+func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64) (Finding, error) {
+	env, err := srv.NewEnvNoStart(a.Seed)
+	if err != nil {
+		return Finding{}, err
+	}
+
+	// Corrupt the stored pointer now (covers load-time relocations) and
+	// after every subsequent program store to it (covers runtime
+	// initialization), exactly what an attacker's write primitive does.
+	cor := &corruptingFlow{
+		inner:  env.Proc.Flow,
+		as:     env.Proc.AS,
+		target: cand.Provenance,
+		value:  invalid,
+	}
+	env.Proc.Flow = cor
+	cor.corrupt()
+
+	// Track whether the corrupted pointer actually reached the syscall's
+	// EFAULT path. Once it has, the probe is complete and the attacker
+	// stops writing — the corruptor disarms, so storage slots recycled
+	// for later connections behave normally again.
+	efaultSeen := false
+	env.Kern.SetObserver(&observationSink{onExit: func(ev kernel.Event, ret uint64) {
+		if ev.Num == cand.Num && int64(ret) == -int64(kernel.EFAULT) {
+			efaultSeen = true
+			cor.disarm()
+		}
+	}})
+
+	finding := Finding{Candidate: cand}
+	if err := env.Boot(); err != nil {
+		finding.Status = StatusInvalidCandidate
+		finding.Detail = fmt.Sprintf("server crashed during startup: %v", env.Proc.Crash)
+		return finding, nil
+	}
+	_ = srv.Suite(env)
+
+	switch {
+	case env.Proc.State == vm.ProcCrashed:
+		finding.Status = StatusInvalidCandidate
+		finding.Detail = fmt.Sprintf("crash: %v", env.Proc.Crash)
+	case !efaultSeen:
+		finding.Status = StatusUntriggered
+		finding.Detail = "corrupted pointer never reached the syscall"
+	case srv.ServiceCheck != nil && !srv.ServiceCheck(env):
+		finding.Status = StatusFalsePositive
+		finding.Detail = "server alive but no longer serves connections"
+	default:
+		finding.Status = StatusUsable
+		finding.Detail = "EFAULT returned, server alive and serving"
+	}
+	return finding, nil
+}
+
+// observationSink adapts closures to kernel.Observer.
+type observationSink struct {
+	onEnter func(kernel.Event)
+	onExit  func(kernel.Event, uint64)
+}
+
+func (o *observationSink) SyscallEnter(ev kernel.Event) {
+	if o.onEnter != nil {
+		o.onEnter(ev)
+	}
+}
+
+func (o *observationSink) SyscallExit(ev kernel.Event, ret uint64) {
+	if o.onExit != nil {
+		o.onExit(ev, ret)
+	}
+}
+
+// corruptingFlow decorates a vm.DataFlow, rewriting the 8 bytes at target
+// with an invalid pointer value after every program store that touches them
+// — the analysis-side emulation of the attacker's arbitrary-write primitive.
+type corruptingFlow struct {
+	inner    vm.DataFlow
+	as       *mem.AddressSpace
+	target   uint64
+	value    uint64
+	writes   int
+	disarmed bool
+}
+
+var _ vm.DataFlow = (*corruptingFlow)(nil)
+
+// disarm stops further corruption (the attacker's probe has completed).
+func (c *corruptingFlow) disarm() { c.disarmed = true }
+
+func (c *corruptingFlow) corrupt() {
+	if c.disarmed || !c.as.Mapped(c.target) {
+		return
+	}
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(c.value >> (8 * i))
+	}
+	if err := c.as.WriteForce(c.target, buf[:]); err == nil {
+		c.writes++
+	}
+}
+
+// StoreMem implements vm.DataFlow.
+func (c *corruptingFlow) StoreMem(tid int, src isa.Register, addr uint64, size int) {
+	if c.inner != nil {
+		c.inner.StoreMem(tid, src, addr, size)
+	}
+	if addr < c.target+8 && c.target < addr+uint64(size) {
+		c.corrupt()
+	}
+}
+
+// CopyRegReg implements vm.DataFlow.
+func (c *corruptingFlow) CopyRegReg(tid int, dst, src isa.Register) {
+	if c.inner != nil {
+		c.inner.CopyRegReg(tid, dst, src)
+	}
+}
+
+// SetRegImm implements vm.DataFlow.
+func (c *corruptingFlow) SetRegImm(tid int, dst isa.Register) {
+	if c.inner != nil {
+		c.inner.SetRegImm(tid, dst)
+	}
+}
+
+// CombineReg implements vm.DataFlow.
+func (c *corruptingFlow) CombineReg(tid int, dst, src isa.Register) {
+	if c.inner != nil {
+		c.inner.CombineReg(tid, dst, src)
+	}
+}
+
+// LoadMem implements vm.DataFlow.
+func (c *corruptingFlow) LoadMem(tid int, dst isa.Register, addr uint64, size int) {
+	if c.inner != nil {
+		c.inner.LoadMem(tid, dst, addr, size)
+	}
+}
+
+// ClearMem implements vm.DataFlow.
+func (c *corruptingFlow) ClearMem(addr uint64, size int) {
+	if c.inner != nil {
+		c.inner.ClearMem(addr, size)
+	}
+}
+
+// MarkMem implements vm.DataFlow.
+func (c *corruptingFlow) MarkMem(label uint8, addr uint64, size int) {
+	if c.inner != nil {
+		c.inner.MarkMem(label, addr, size)
+	}
+	if addr < c.target+8 && c.target < addr+uint64(size) {
+		c.corrupt()
+	}
+}
+
+// RegTaint implements vm.DataFlow.
+func (c *corruptingFlow) RegTaint(tid int, r isa.Register) uint64 {
+	if c.inner != nil {
+		return c.inner.RegTaint(tid, r)
+	}
+	return 0
+}
+
+// MemTaint implements vm.DataFlow.
+func (c *corruptingFlow) MemTaint(addr uint64, size int) uint64 {
+	if c.inner != nil {
+		return c.inner.MemTaint(addr, size)
+	}
+	return 0
+}

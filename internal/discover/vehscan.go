@@ -1,0 +1,163 @@
+package discover
+
+import (
+	"fmt"
+
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/sym"
+	"crashresist/internal/vm"
+)
+
+// VEHAPIName is the registration API the scanner looks for.
+const VEHAPIName = "AddVectoredExceptionHandler"
+
+// VEHFinding is one statically discovered vectored-handler registration —
+// the extension the paper sketches in §VII-A ("locating all calls to
+// AddVectoredExceptionHandler and extracting the handler address").
+type VEHFinding struct {
+	Module string
+	// CallPC is the registration call site.
+	CallPC uint64
+	// HandlerVA is the recovered handler address (0 if unresolved).
+	HandlerVA uint64
+	// HandlerSym names the handler when a symbol covers it.
+	HandlerSym string
+	// Resolved reports whether the static value tracking recovered the
+	// handler argument.
+	Resolved bool
+	// Verdict classifies the handler against access violations
+	// (VEH accepts by returning CONTINUE_EXECUTION).
+	Verdict sym.Verdict
+}
+
+// String renders the finding.
+func (f VEHFinding) String() string {
+	if !f.Resolved {
+		return fmt.Sprintf("%s: VEH registration at %#x (handler unresolved)", f.Module, f.CallPC)
+	}
+	return fmt.Sprintf("%s: VEH registration at %#x → %s (%#x), %v",
+		f.Module, f.CallPC, f.HandlerSym, f.HandlerVA, f.Verdict)
+}
+
+// VEHScan statically locates vectored-handler registrations in every loaded
+// module: it finds each module's import slot for the registration API, then
+// linearly tracks constant/PC-relative/loaded register values through the
+// text to recover the handler argument (R1) at each call site. Recovered
+// handlers are classified with the symbolic executor.
+//
+// The value tracking is a linear-sweep approximation (no joins at control
+// flow merges); registrations whose handler argument it cannot prove are
+// reported unresolved rather than guessed.
+func VEHScan(p *vm.Process) []VEHFinding {
+	var out []VEHFinding
+	exec := sym.NewExecutor(p)
+	for _, mod := range p.Modules() {
+		slot := vehImportSlot(mod)
+		if slot < 0 {
+			continue
+		}
+		for _, f := range scanModuleVEH(p, mod, slot) {
+			if f.Resolved {
+				f.Verdict = exec.AnalyzeVEH(f.HandlerVA).Verdict
+				if m, ok := p.FindModule(f.HandlerVA); ok {
+					if s, ok := m.Image.SymbolAt(m.OffsetOf(f.HandlerVA)); ok {
+						f.HandlerSym = m.Image.Name + "!" + s.Name
+					}
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// vehImportSlot returns the module's import slot for the registration API,
+// or -1.
+func vehImportSlot(mod *bin.Module) int {
+	for i, imp := range mod.Image.Imports {
+		if imp.Module == "" && imp.Symbol == VEHAPIName {
+			return i
+		}
+	}
+	return -1
+}
+
+// absVal is an abstract register value for the linear sweep.
+type absVal struct {
+	known bool
+	v     uint64
+}
+
+// scanModuleVEH sweeps the module text once.
+func scanModuleVEH(p *vm.Process, mod *bin.Module, slot int) []VEHFinding {
+	var (
+		out  []VEHFinding
+		regs [isa.NumRegisters]absVal
+	)
+	text := mod.Image.Text
+	for off := 0; off < len(text); {
+		ins, size, err := isa.Decode(text[off:])
+		if err != nil {
+			// Sections can hold padding after code; stop the sweep.
+			break
+		}
+		pc := mod.VA(uint32(off))
+		next := pc + uint64(size)
+
+		switch ins.Op {
+		case isa.OpMovRI:
+			regs[ins.A] = absVal{known: true, v: ins.Imm}
+		case isa.OpLea:
+			regs[ins.A] = absVal{known: true, v: next + uint64(int64(ins.Disp))}
+		case isa.OpMovRR:
+			regs[ins.A] = regs[ins.B]
+		case isa.OpAddRI:
+			if regs[ins.A].known {
+				regs[ins.A].v += uint64(int64(ins.Disp))
+			}
+		case isa.OpSubRI:
+			if regs[ins.A].known {
+				regs[ins.A].v -= uint64(int64(ins.Disp))
+			}
+		case isa.OpLoad8:
+			if regs[ins.B].known {
+				addr := regs[ins.B].v + uint64(int64(ins.Disp))
+				if v, err := p.AS.ReadUint(addr, 8); err == nil {
+					regs[ins.A] = absVal{known: true, v: v}
+					break
+				}
+			}
+			regs[ins.A] = absVal{}
+		case isa.OpCallI:
+			if int(ins.Disp) == slot {
+				f := VEHFinding{Module: mod.Image.Name, CallPC: pc}
+				if regs[isa.R1].known {
+					f.Resolved = true
+					f.HandlerVA = regs[isa.R1].v
+				}
+				out = append(out, f)
+			}
+			// Calls clobber the return register.
+			regs[isa.R0] = absVal{}
+		case isa.OpCall, isa.OpCallR:
+			regs[isa.R0] = absVal{}
+		default:
+			// Any other write invalidates the destination register.
+			switch isa.LayoutOf(ins.Op) {
+			case isa.LayoutR, isa.LayoutRR, isa.LayoutRI32, isa.LayoutRI64:
+				if ins.Op != isa.OpCmpRR && ins.Op != isa.OpCmpRI &&
+					ins.Op != isa.OpTestRR && ins.Op != isa.OpTestRI &&
+					ins.Op != isa.OpPush {
+					regs[ins.A] = absVal{}
+				}
+			case isa.LayoutRRD:
+				if ins.LoadSize() != 0 {
+					regs[ins.A] = absVal{}
+				}
+			}
+		}
+		off += size
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one line of disassembly output.
+type DisasmLine struct {
+	Offset int
+	Ins    Instruction
+}
+
+// Disassemble decodes code and renders it as offset-annotated assembler text.
+// Decoding stops at the first invalid byte, which is reported in the output
+// rather than returned as an error so partial dumps remain useful.
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	for off := 0; off < len(code); {
+		ins, n, err := Decode(code[off:])
+		if err != nil {
+			fmt.Fprintf(&b, "%6d: <%v>\n", off, err)
+			break
+		}
+		fmt.Fprintf(&b, "%6d: %s\n", off, ins)
+		off += n
+	}
+	return b.String()
+}
+
+// Scan decodes code into offset/instruction pairs, stopping at the first
+// decoding error. The error (if any) is returned alongside whatever was
+// decoded successfully.
+func Scan(code []byte) ([]DisasmLine, error) {
+	var out []DisasmLine
+	for off := 0; off < len(code); {
+		ins, n, err := Decode(code[off:])
+		if err != nil {
+			return out, fmt.Errorf("offset %d: %w", off, err)
+		}
+		out = append(out, DisasmLine{Offset: off, Ins: ins})
+		off += n
+	}
+	return out, nil
+}

@@ -1,0 +1,424 @@
+package kernel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/vm"
+)
+
+// TestFileWriteAndSymlink covers the filesystem write paths: create a file,
+// write, symlink it, read the link back.
+func TestFileWriteAndSymlink(t *testing.T) {
+	p, k := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		// open("/out", create)
+		b.LeaData(isa.R1, "out_path").MovRI(isa.R2, 1)
+		emitSyscall(b, SysOpen)
+		b.MovRR(isa.R6, isa.R0)
+		// write(fd, payload, 5)
+		b.MovRR(isa.R1, isa.R6).LeaData(isa.R2, "payload").MovRI(isa.R3, 5)
+		emitSyscall(b, SysWrite)
+		b.MovRR(isa.R1, isa.R6)
+		emitSyscall(b, SysClose)
+		// symlink("/out", "/link")
+		b.LeaData(isa.R1, "out_path").LeaData(isa.R2, "link_path")
+		emitSyscall(b, SysSymlink)
+		// open("/link") + read back
+		b.LeaData(isa.R1, "link_path").MovRI(isa.R2, 0)
+		emitSyscall(b, SysOpen)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6).LeaData(isa.R2, "buf").MovRI(isa.R3, 16)
+		emitSyscall(b, SysRead)
+		b.MovRR(isa.R1, isa.R0) // bytes read through the link
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.Data("out_path", []byte("/out\x00"))
+		b.Data("link_path", []byte("/link\x00"))
+		b.Data("payload", []byte("hello"))
+		b.BSS("buf", 16)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != 5 {
+		t.Fatalf("read via symlink = %d, want 5", p.ExitCode)
+	}
+	contents, ok := k.FileContents("/link")
+	if !ok || !bytes.Equal(contents, []byte("hello")) {
+		t.Errorf("link contents = %q %v", contents, ok)
+	}
+}
+
+// TestFileWriteEFAULT covers the file-write bad-pointer path.
+func TestFileWriteEFAULT(t *testing.T) {
+	p, _ := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		b.LeaData(isa.R1, "out_path").MovRI(isa.R2, 1)
+		emitSyscall(b, SysOpen)
+		b.MovRR(isa.R1, isa.R0).MovRI(isa.R2, 0xbad0000).MovRI(isa.R3, 8)
+		emitSyscall(b, SysWrite)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.Data("out_path", []byte("/out\x00"))
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if int64(p.ExitCode) != -EFAULT {
+		t.Errorf("write ret = %d, want -EFAULT", int64(p.ExitCode))
+	}
+}
+
+// TestSymlinkEFAULTSecondArg covers symlink's second pointer argument.
+func TestSymlinkEFAULTSecondArg(t *testing.T) {
+	p, _ := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		b.LeaData(isa.R1, "path").MovRI(isa.R2, 0xbad0000)
+		emitSyscall(b, SysSymlink)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.Data("path", []byte("/x\x00"))
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if int64(p.ExitCode) != -EFAULT {
+		t.Errorf("symlink ret = %d, want -EFAULT", int64(p.ExitCode))
+	}
+}
+
+// TestConnectValidPointer covers connect's non-EFAULT path (refused).
+func TestConnectValidPointer(t *testing.T) {
+	p, _ := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysSocket)
+		b.MovRR(isa.R1, isa.R0).LeaData(isa.R2, "addr")
+		emitSyscall(b, SysConnect)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("addr", 16)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if int64(p.ExitCode) != -EINVAL {
+		t.Errorf("connect ret = %d, want -EINVAL (refused)", int64(p.ExitCode))
+	}
+}
+
+// TestRecvAndSendmsgSuccess covers the recv and sendmsg happy paths.
+func TestRecvAndSendmsgSuccess(t *testing.T) {
+	p, k := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysSocket)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 80)
+		emitSyscall(b, SysBind)
+		b.MovRR(isa.R1, isa.R6)
+		emitSyscall(b, SysListen)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+		emitSyscall(b, SysAccept)
+		b.MovRR(isa.R7, isa.R0)
+		// recv(conn, buf, 16, 0)
+		b.MovRR(isa.R1, isa.R7).LeaData(isa.R2, "buf").MovRI(isa.R3, 16).MovRI(isa.R4, 0)
+		emitSyscall(b, SysRecv)
+		b.MovRR(isa.R8, isa.R0)
+		// sendmsg(conn, hdr) echoing what was received
+		b.LeaData(isa.R5, "hdr").
+			LeaData(isa.R4, "buf").
+			Store(8, isa.R5, 0, isa.R4).
+			Store(8, isa.R5, 8, isa.R8).
+			MovRR(isa.R1, isa.R7).
+			MovRR(isa.R2, isa.R5)
+		emitSyscall(b, SysSendmsg)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("buf", 16)
+		b.BSS("hdr", 16)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	cc, err := k.Connect(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("ping"))
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != 4 {
+		t.Fatalf("sendmsg ret = %d, want 4", int64(p.ExitCode))
+	}
+	if got := cc.Recv(); !bytes.Equal(got, []byte("ping")) {
+		t.Errorf("echo = %q", got)
+	}
+	if cc.ClosedByServer() {
+		t.Error("server should not have closed the connection")
+	}
+	if cc.Label() == 0 {
+		t.Error("connection has no taint label")
+	}
+}
+
+// TestSendToClosedConnection covers streamWrite's closed path.
+func TestSendToClosedConnection(t *testing.T) {
+	p, k := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysSocket)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 80)
+		emitSyscall(b, SysBind)
+		b.MovRR(isa.R1, isa.R6)
+		emitSyscall(b, SysListen)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+		emitSyscall(b, SysAccept)
+		b.MovRR(isa.R7, isa.R0)
+		// Wait for EOF, then try to send.
+		b.MovRR(isa.R1, isa.R7).LeaData(isa.R2, "buf").MovRI(isa.R3, 8).MovRI(isa.R4, 0)
+		emitSyscall(b, SysRecv)
+		b.MovRR(isa.R1, isa.R7).LeaData(isa.R2, "buf").MovRI(isa.R3, 4).MovRI(isa.R4, 0)
+		emitSyscall(b, SysSend)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("buf", 8)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	cc, err := k.Connect(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	cc.Close()
+	p.RunUntilIdle(1_000_000)
+	if int64(p.ExitCode) != -EBADF {
+		t.Errorf("send after client close = %d, want -EBADF", int64(p.ExitCode))
+	}
+}
+
+// TestEpollCtlDelAndMod covers the remaining ctl ops.
+func TestEpollCtlDelAndMod(t *testing.T) {
+	p, k := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysSocket)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 80)
+		emitSyscall(b, SysBind)
+		b.MovRR(isa.R1, isa.R6)
+		emitSyscall(b, SysListen)
+		emitSyscall(b, SysEpollCreate)
+		b.MovRR(isa.R9, isa.R0)
+		// add, mod, del, then a zero-timeout wait (no interest → 0).
+		b.LeaData(isa.R4, "ev").MovRI(isa.R5, EpollIn).Store(4, isa.R4, 0, isa.R5).Store(8, isa.R4, 8, isa.R6)
+		b.MovRR(isa.R1, isa.R9).MovRI(isa.R2, EpollCtlAdd).MovRR(isa.R3, isa.R6)
+		emitSyscall(b, SysEpollCtl)
+		b.MovRR(isa.R1, isa.R9).MovRI(isa.R2, EpollCtlMod).MovRR(isa.R3, isa.R6).LeaData(isa.R4, "ev")
+		emitSyscall(b, SysEpollCtl)
+		b.MovRR(isa.R1, isa.R9).MovRI(isa.R2, EpollCtlDel).MovRR(isa.R3, isa.R6)
+		emitSyscall(b, SysEpollCtl)
+		b.MovRR(isa.R1, isa.R9).LeaData(isa.R2, "events").MovRI(isa.R3, 4).MovRI(isa.R4, 0)
+		emitSyscall(b, SysEpollWait)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("ev", 16)
+		b.BSS("events", 64)
+	})
+	// A pending connection would be ready — but interest was deleted.
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Run(10_000)
+	if _, err := k.Connect(80); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != 0 {
+		t.Errorf("epoll_wait after del = %d events, want 0", p.ExitCode)
+	}
+}
+
+// TestEpollCtlErrors covers bad ops and descriptors.
+func TestEpollCtlErrors(t *testing.T) {
+	p, _ := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysEpollCreate)
+		b.MovRR(isa.R9, isa.R0)
+		// ctl with unknown op
+		b.MovRR(isa.R1, isa.R9).MovRI(isa.R2, 99).MovRI(isa.R3, 3).LeaData(isa.R4, "ev")
+		emitSyscall(b, SysEpollCtl)
+		b.MovRR(isa.R10, isa.R0)
+		// ctl add for nonexistent fd
+		b.MovRR(isa.R1, isa.R9).MovRI(isa.R2, EpollCtlAdd).MovRI(isa.R3, 77).LeaData(isa.R4, "ev")
+		emitSyscall(b, SysEpollCtl)
+		b.MovRR(isa.R11, isa.R0)
+		// wait with maxevents 0
+		b.MovRR(isa.R1, isa.R9).LeaData(isa.R2, "ev").MovRI(isa.R3, 0).MovRI(isa.R4, 0)
+		emitSyscall(b, SysEpollWait)
+		b.MovRR(isa.R12, isa.R0)
+		// wait on non-epoll fd
+		b.MovRI(isa.R1, 1).LeaData(isa.R2, "ev").MovRI(isa.R3, 1).MovRI(isa.R4, 0)
+		emitSyscall(b, SysEpollWait)
+		b.MovRR(isa.R13, isa.R0)
+		// pack outcomes
+		b.MovRI(isa.R1, 0)
+		b.MovRI(isa.R5, uint64(0)).SubRI(isa.R5, int32(EINVAL))
+		b.CmpRR(isa.R10, isa.R5).Jnz("c1").OrRI(isa.R1, 1).Label("c1")
+		b.MovRI(isa.R5, uint64(0)).SubRI(isa.R5, int32(EBADF))
+		b.CmpRR(isa.R11, isa.R5).Jnz("c2").OrRI(isa.R1, 2).Label("c2")
+		b.MovRI(isa.R5, uint64(0)).SubRI(isa.R5, int32(EINVAL))
+		b.CmpRR(isa.R12, isa.R5).Jnz("c3").OrRI(isa.R1, 4).Label("c3")
+		b.MovRI(isa.R5, uint64(0)).SubRI(isa.R5, int32(EBADF))
+		b.CmpRR(isa.R13, isa.R5).Jnz("c4").OrRI(isa.R1, 8).Label("c4")
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("ev", 16)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != 15 {
+		t.Errorf("epoll error checks = %04b, want 1111", p.ExitCode)
+	}
+}
+
+// TestSigactionInvalidSignal covers the EINVAL path.
+func TestSigactionInvalidSignal(t *testing.T) {
+	p, _ := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		b.MovRI(isa.R1, 999).MovRI(isa.R2, 0x1000)
+		emitSyscall(b, SysSigaction)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if int64(p.ExitCode) != -EINVAL {
+		t.Errorf("sigaction(999) = %d, want -EINVAL", int64(p.ExitCode))
+	}
+}
+
+// TestRecvfromSrcAddrSuccess covers recvfrom's optional source-address path.
+func TestRecvfromSrcAddrSuccess(t *testing.T) {
+	p, k := buildLinuxProc(t, func(b *asm.Builder) {
+		b.Func("main").Entry("main")
+		emitSyscall(b, SysSocket)
+		b.MovRR(isa.R6, isa.R0)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 80)
+		emitSyscall(b, SysBind)
+		b.MovRR(isa.R1, isa.R6)
+		emitSyscall(b, SysListen)
+		b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+		emitSyscall(b, SysAccept)
+		b.MovRR(isa.R1, isa.R0).LeaData(isa.R2, "buf").MovRI(isa.R3, 8).LeaData(isa.R4, "src")
+		emitSyscall(b, SysRecvfrom)
+		b.MovRR(isa.R1, isa.R0)
+		emitSyscall(b, SysExit)
+		b.EndFunc()
+		b.BSS("buf", 8)
+		b.BSS("src", 16)
+	})
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	cc, err := k.Connect(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("dgram"))
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != 5 {
+		t.Errorf("recvfrom = %d, want 5", p.ExitCode)
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	k := New()
+	if s := k.String(); !strings.Contains(s, "kernel{") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestBlockingSyscallInsideFilterFailsFast: a thread evaluating an SEH
+// filter must never be parked by the kernel — the blocking accept inside
+// the filter resolves immediately instead of deadlocking exception
+// dispatch, and the filter runs to completion.
+func TestBlockingSyscallInsideFilterFailsFast(t *testing.T) {
+	b := asm.NewBuilder("mix.exe", bin.KindExecutable)
+	b.Func("main").Entry("main")
+	// Set up a listener with an empty backlog.
+	emitSyscall(b, SysSocket)
+	b.MovRR(isa.R6, isa.R0)
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 80)
+	emitSyscall(b, SysBind)
+	b.MovRR(isa.R1, isa.R6)
+	emitSyscall(b, SysListen)
+	b.LeaData(isa.R12, "lfd").Store(8, isa.R12, 0, isa.R6)
+	// Fault inside a guarded region whose filter blocks.
+	b.MovRI(isa.R1, 0xbad0000)
+	b.Label("try")
+	b.Load(8, isa.R0, isa.R1, 0)
+	b.Label("try_end")
+	b.MovRI(isa.R1, 1)
+	emitSyscall(b, SysExit)
+	b.Label("handler")
+	b.MovRI(isa.R1, 2)
+	emitSyscall(b, SysExit)
+	b.EndFunc()
+	// The filter performs a *blocking* accept before accepting the
+	// exception; the kernel must fail the call rather than park the
+	// thread mid-dispatch.
+	b.Func("filter")
+	b.LeaData(isa.R4, "lfd").Load(8, isa.R1, isa.R4, 0).MovRI(isa.R2, 0)
+	emitSyscall(b, SysAccept)
+	b.MovRI(isa.R0, 1) // accept the exception regardless
+	b.Ret()
+	b.EndFunc()
+	b.Guard("main", "try", "try_end", "filter", "handler")
+	b.BSS("lfd", 8)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Windows exception model with the Linux-model kernel attached: the
+	// combination that makes a blocking filter expressible.
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 77})
+	k := New()
+	k.Attach(p)
+	if _, err := p.Start(); err == nil {
+		t.Fatal("start before load should fail")
+	}
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunUntilIdle(1_000_000)
+	if res.State != vm.ProcExited || p.ExitCode != 2 {
+		t.Fatalf("state=%v exit=%d crash=%v, want filter-accepted exit 2",
+			res.State, p.ExitCode, p.Crash)
+	}
+}

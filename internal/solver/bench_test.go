@@ -1,0 +1,40 @@
+package solver
+
+import "testing"
+
+// BenchmarkSolveEquality is the dominant filter shape: code == CONST.
+func BenchmarkSolveEquality(b *testing.B) {
+	c := Bin(OpEq, Sym("code"), Const(0xC0000005))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, res := Solve([]*Expr{c}); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkSolveMaskRange exercises the masked-equality + interval family.
+func BenchmarkSolveMaskRange(b *testing.B) {
+	code := Sym("code")
+	cs := []*Expr{
+		Bin(OpEq, Bin(OpAnd, code, Const(0xF0000000)), Const(0xC0000000)),
+		Bin(OpUle, Const(0xC0000001), code),
+		Bin(OpNe, code, Const(0xC0000094)),
+	}
+	for i := 0; i < b.N; i++ {
+		if _, res := Solve(cs); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkEval measures raw expression evaluation.
+func BenchmarkEval(b *testing.B) {
+	e := Bin(OpEq, Bin(OpAnd, Bin(OpAdd, Sym("a"), Sym("b")), Const(0xFF)), Const(0x42))
+	m := map[string]uint64{"a": 0x40, "b": 0x2}
+	for i := 0; i < b.N; i++ {
+		if e.Eval(m) != 1 {
+			b.Fatal("wrong eval")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package sym
+
+import (
+	"testing"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/vm"
+)
+
+// BenchmarkAnalyzeFilter measures one filter classification — the unit cost
+// behind the 5,751-filter corpus sweep.
+func BenchmarkAnalyzeFilter(b *testing.B) {
+	bb := asm.NewBuilder("filters.dll", bin.KindLibrary)
+	bb.Func("f").
+		MovRI(isa.R3, 0xC0000000).
+		CmpRR(isa.R1, isa.R3).
+		Jb("no").
+		MovRI(isa.R3, 0xD0000000).
+		CmpRR(isa.R1, isa.R3).
+		Jae("no").
+		MovRI(isa.R0, 1).
+		Ret().
+		Label("no").
+		MovRI(isa.R0, 0).
+		Ret().
+		EndFunc()
+	bb.Export("f", "f")
+	img, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 1})
+	mod, err := p.LoadImage(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va := mod.VA(img.Exports["f"])
+	exec := NewExecutor(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := exec.AnalyzeFilter(va); rep.Verdict != VerdictAccepts {
+			b.Fatal(rep.Verdict)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package sym
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/vm"
+)
+
+// TestSymbolicMatchesConcrete is the differential oracle for the whole
+// filter-analysis stack (executor + solver): for randomly generated filter
+// programs that depend only on the exception code, the symbolic verdict
+// "accepts access violations" must coincide with concretely executing the
+// filter with code = ACCESS_VIOLATION and observing its return value.
+func TestSymbolicMatchesConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170625)) // DSN'17 conference date
+	for trial := 0; trial < 120; trial++ {
+		src := generateFilter(rng)
+		img, err := buildFilterImage(t, src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram: %+v", trial, err, src)
+		}
+
+		concrete := runConcrete(t, img)
+		symbolic := runSymbolic(t, img)
+
+		wantAccept := concrete == 1
+		gotAccept := symbolic == VerdictAccepts
+		if symbolic == VerdictUnknown {
+			t.Fatalf("trial %d: symbolic unknown for code-only filter\nprogram: %+v", trial, src)
+		}
+		if wantAccept != gotAccept {
+			t.Fatalf("trial %d: concrete(code=AV) returned %d but symbolic says %v\nprogram: %+v",
+				trial, concrete, symbolic, src)
+		}
+	}
+}
+
+// filterStage is one decision of a generated filter.
+type filterStage struct {
+	// kind: 0 = plain compare, 1 = masked compare, 2 = shifted compare.
+	kind int
+	code uint64
+	mask uint64
+	jump string // jz, jnz, jb, jae
+	// leaf is the disposition (0/1) returned if the branch is taken.
+	leaf uint64
+}
+
+type filterProgram struct {
+	stages   []filterStage
+	fallback uint64
+}
+
+var interestingCodes = []uint64{
+	uint64(vm.ExcAccessViolation),
+	uint64(vm.ExcDivideByZero),
+	uint64(vm.ExcIllegalInstruction),
+	uint64(vm.ExcStackOverflow),
+	0xE0001234, 0xC0000000, 0xD0000000, 0x80000001,
+}
+
+func generateFilter(rng *rand.Rand) filterProgram {
+	jumps := []string{"jz", "jnz", "jb", "jae"}
+	n := 1 + rng.Intn(4)
+	p := filterProgram{fallback: uint64(rng.Intn(2))}
+	for i := 0; i < n; i++ {
+		p.stages = append(p.stages, filterStage{
+			kind: rng.Intn(3),
+			code: interestingCodes[rng.Intn(len(interestingCodes))],
+			mask: []uint64{0xF0000000, 0xFFFF0000, 0xFF, 0xC0000005}[rng.Intn(4)],
+			jump: jumps[rng.Intn(len(jumps))],
+			leaf: uint64(rng.Intn(2)),
+		})
+	}
+	return p
+}
+
+// buildFilterImage assembles the program plus a concrete-execution harness.
+func buildFilterImage(t *testing.T, p filterProgram) (*bin.Image, error) {
+	t.Helper()
+	b := asm.NewBuilder("equiv.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		MovRI(isa.R1, uint64(vm.ExcAccessViolation)).
+		MovRI(isa.R2, 0x12340000). // arbitrary fault address
+		Call("filter").
+		Halt().
+		EndFunc()
+
+	b.Func("filter")
+	for i, st := range p.stages {
+		leaf := fmt.Sprintf("leaf%d", i)
+		switch st.kind {
+		case 1: // masked compare
+			b.MovRR(isa.R3, isa.R1).
+				AndRI(isa.R3, int32(uint32(st.mask))).
+				MovRI(isa.R4, st.code&st.mask).
+				CmpRR(isa.R3, isa.R4)
+		case 2: // shifted compare (severity class)
+			b.MovRR(isa.R3, isa.R1).
+				ShrRI(isa.R3, 30).
+				CmpRI(isa.R3, int32(st.code&3))
+		default:
+			b.MovRI(isa.R3, st.code).
+				CmpRR(isa.R1, isa.R3)
+		}
+		switch st.jump {
+		case "jz":
+			b.Jz(leaf)
+		case "jnz":
+			b.Jnz(leaf)
+		case "jb":
+			b.Jb(leaf)
+		default:
+			b.Jae(leaf)
+		}
+	}
+	b.MovRI(isa.R0, p.fallback).Ret()
+	for i, st := range p.stages {
+		b.Label(fmt.Sprintf("leaf%d", i)).
+			MovRI(isa.R0, st.leaf).
+			Ret()
+	}
+	b.EndFunc()
+	b.Export("filter", "filter")
+	return b.Build()
+}
+
+func runConcrete(t *testing.T, img *bin.Image) uint64 {
+	t.Helper()
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 9})
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunUntilIdle(1_000_000)
+	if res.State != vm.ProcExited {
+		t.Fatalf("concrete run state = %v crash=%v", res.State, p.Crash)
+	}
+	return p.ExitCode
+}
+
+func runSymbolic(t *testing.T, img *bin.Image) Verdict {
+	t.Helper()
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 9})
+	mod, err := p.LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewExecutor(p).AnalyzeFilter(mod.VA(img.Exports["filter"])).Verdict
+}

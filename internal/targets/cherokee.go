@@ -1,0 +1,227 @@
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+)
+
+// CherokeeThreads is the worker-thread count of the Cherokee model
+// (cherokee 1.2's default configuration starts multiple threads).
+const CherokeeThreads = 4
+
+// Cherokee builds the Cherokee-1.2 model: a multi-threaded server where
+// every worker runs its own epoll loop with a one-second timeout (§VI-D).
+//
+// Code-path inventory:
+//   - epoll_wait: each worker reloads its event-array pointer from its
+//     thread context (writable) every iteration; -EFAULT sends the worker
+//     into a tight failing loop while the process keeps serving through
+//     its siblings — the usable primitive and the timing side channel.
+//   - chmod: log path pointer in writable data, NUL-terminated through the
+//     pointer in user mode at startup — invalid candidate.
+//   - recv: buffer pointer from the connection struct, but the error path
+//     resets the buffer through the same pointer — invalid candidate.
+//   - write: response built through the connection's response pointer —
+//     invalid candidate.
+//   - open: static config path — observed only.
+func Cherokee() (*Server, error) {
+	b := asm.NewBuilder("cherokee", bin.KindExecutable)
+
+	b.Func("main").Entry("main")
+	// open("/etc/cherokee.conf") — static.
+	b.LeaData(isa.R1, "s_confpath").MovRI(isa.R2, 0)
+	sys(b, kernel.SysOpen)
+	b.MovRR(isa.R12, isa.R0)
+	b.MovRR(isa.R1, isa.R12).LeaData(isa.R2, "cfgbuf").MovRI(isa.R3, 64)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R1, isa.R12)
+	sys(b, kernel.SysClose)
+	// chmod(log path) through a writable pointer, NUL-terminating through
+	// it first (user mode).
+	b.LeaData(isa.R10, "log_path_ptr").
+		Load(8, isa.R1, isa.R10, 0).
+		MovRI(isa.R13, 0).
+		Store(1, isa.R1, 19, isa.R13) // user-mode terminator
+	sys(b, kernel.SysChmod)
+
+	emitListen(b, HTTPPort)
+	// Publish the listener fd for workers.
+	b.LeaData(isa.R12, "listen_fd").Store(8, isa.R12, 0, isa.R6)
+
+	// Create one epoll per worker, record it, seed the worker context
+	// with its event-array pointer, and spawn the worker.
+	b.MovRI(isa.R8, 0) // i
+	b.Label("spawn_loop")
+	b.CmpRI(isa.R8, CherokeeThreads).Jge("spawned")
+	emitEpollCreate(b) // R9 = epfd
+	// Every worker also watches the listener.
+	emitEpollAdd(b, isa.R6, "ev_scratch")
+	b.LeaData(isa.R12, "epoll_table").
+		MovRR(isa.R13, isa.R8).
+		MulRI(isa.R13, 8).
+		AddRR(isa.R12, isa.R13).
+		Store(8, isa.R12, 0, isa.R9)
+	// thread_ctx[i].evptr = ev_arrays + i*32
+	b.LeaData(isa.R12, "thread_ctxs").
+		MovRR(isa.R13, isa.R8).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R12, isa.R13).
+		LeaData(isa.R14, "ev_arrays").
+		MovRR(isa.R13, isa.R8).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	// spawn_thread(worker, i)
+	b.LeaCode(isa.R1, "worker").MovRR(isa.R2, isa.R8)
+	sys(b, kernel.SysSpawnThread)
+	b.AddRI(isa.R8, 1).Jmp("spawn_loop")
+	b.Label("spawned")
+	// Main thread sleeps forever in one-second naps (supervisor).
+	b.Label("supervise")
+	b.MovRI(isa.R1, kernel.TicksPerSecond)
+	sys(b, kernel.SysNanosleep)
+	b.Jmp("supervise")
+	b.EndFunc()
+
+	// worker: index arrives in R1.
+	b.Func("worker")
+	b.MovRR(isa.R8, isa.R1)
+	// epfd = epoll_table[i]
+	b.LeaData(isa.R12, "epoll_table").
+		MovRR(isa.R13, isa.R8).
+		MulRI(isa.R13, 8).
+		AddRR(isa.R12, isa.R13).
+		Load(8, isa.R9, isa.R12, 0)
+	// ctx = thread_ctxs + i*16
+	b.LeaData(isa.R10, "thread_ctxs").
+		MovRR(isa.R13, isa.R8).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R10, isa.R13)
+	b.Label("w_loop")
+	// epoll_wait(epfd, [ctx.evptr], 2, 1s) — evptr reloaded every
+	// iteration; a corrupted pointer yields an immediate -EFAULT and the
+	// loop spins (performance degradation, no crash).
+	b.Load(8, isa.R2, isa.R10, 0).
+		MovRR(isa.R1, isa.R9).
+		MovRI(isa.R3, 2).
+		MovRI(isa.R4, kernel.TicksPerSecond)
+	sys(b, kernel.SysEpollWait)
+	b.CmpRI(isa.R0, 0).Jle("w_loop")
+	// fd = event[0].data, read through the pointer epoll_wait just
+	// validated (still in R2) — re-loading it from the context here would
+	// dereference a possibly newly-corrupted value. Keep it in R15 for
+	// the rest of this event's handling.
+	b.Load(8, isa.R7, isa.R2, 8).
+		MovRR(isa.R15, isa.R2)
+	b.LeaData(isa.R12, "listen_fd").Load(8, isa.R12, isa.R12, 0)
+	b.CmpRR(isa.R7, isa.R12).Jnz("w_serve")
+	// Nonblocking accept; losers of the race just loop.
+	b.MovRR(isa.R1, isa.R12).MovRI(isa.R2, 1)
+	sys(b, kernel.SysAccept)
+	b.CmpRI(isa.R0, 0).Jl("w_loop")
+	b.MovRR(isa.R7, isa.R0)
+	// conn = conn_pool + fd*32; buffers per fd.
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.LeaData(isa.R14, "conn_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	b.LeaData(isa.R14, "resp_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 8, isa.R14)
+	// The accepting worker owns the connection: add to MY epoll, using
+	// the upper half of my per-worker event array (via the validated
+	// pointer in R15) as ctl scratch — the shared scratch would race
+	// between workers.
+	b.MovRR(isa.R4, isa.R15).
+		AddRI(isa.R4, 16).
+		MovRI(isa.R5, kernel.EpollIn).
+		Store(4, isa.R4, 0, isa.R5).
+		Store(8, isa.R4, 8, isa.R7).
+		MovRR(isa.R1, isa.R9).
+		MovRI(isa.R2, kernel.EpollCtlAdd).
+		MovRR(isa.R3, isa.R7)
+	sys(b, kernel.SysEpollCtl)
+	b.Jmp("w_loop")
+	b.Label("w_serve")
+	// conn = conn_pool + fd*32
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	// recv(fd, conn.bufptr, 48, DONTWAIT)
+	b.Load(8, isa.R2, isa.R12, 0).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 48).
+		MovRI(isa.R4, 1)
+	sys(b, kernel.SysRecv)
+	b.MovRR(isa.R15, isa.R0)
+	b.CmpRI(isa.R15, 0).Jg("w_got")
+	// EAGAIN: another thread raced us; just loop.
+	b.MovRI(isa.R14, 0).SubRI(isa.R14, int32(kernel.EAGAIN)).
+		CmpRR(isa.R15, isa.R14).
+		Jz("w_loop")
+	// Real error/EOF: reset the buffer through its pointer (user-mode
+	// store — the crash point for corrupted recv pointers), then close.
+	b.Load(8, isa.R2, isa.R12, 0).
+		MovRI(isa.R13, 0).
+		Store(1, isa.R2, 0, isa.R13)
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	b.Jmp("w_loop")
+	b.Label("w_got")
+	// Respond through conn.rbufptr (user-mode store first).
+	b.Load(8, isa.R2, isa.R12, 8).
+		MovRI(isa.R13, 0x0a4b4f). // "OK\n"
+		Store(8, isa.R2, 0, isa.R13).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 16)
+	sys(b, kernel.SysWrite)
+	b.Jmp("w_loop")
+	b.EndFunc()
+
+	b.Data("s_confpath", []byte("/etc/cherokee.conf\x00"))
+	b.Data("log_path", []byte("/var/log/access.log\x00\x00\x00\x00"))
+	b.DataPtr("log_path_ptr", "log_path")
+	b.BSS("cfgbuf", 64)
+	b.BSS("listen_fd", 8)
+	b.BSS("ev_scratch", 16)
+	b.BSS("ev_scratch2", 16)
+	b.BSS("epoll_table", CherokeeThreads*8)
+	b.BSS("thread_ctxs", CherokeeThreads*16)
+	b.BSS("ev_arrays", CherokeeThreads*32)
+	b.BSS("conn_pool", 32*32)
+	b.BSS("conn_bufs", 32*64)
+	b.BSS("resp_bufs", 32*64)
+	b.Export("thread_ctxs", "thread_ctxs")
+	b.Export("conn_pool", "conn_pool")
+
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cherokee: %w", err)
+	}
+	return &Server{
+		Name:         "cherokee",
+		Port:         HTTPPort,
+		Image:        img,
+		Suite:        cherokeeSuite,
+		ServiceCheck: httpServiceCheck(HTTPPort),
+	}, nil
+}
+
+func cherokeeSuite(env *ServerEnv) error {
+	for i := 0; i < 4; i++ {
+		env.Request(HTTPPort, []byte("GET /index.html\n\n"))
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+)
+
+// Lighttpd builds the Lighttpd-1.4 model: a single-threaded epoll server
+// that serves files named in the request.
+//
+// Code-path inventory:
+//   - read: request buffer pointer from the connection struct; -EFAULT
+//     closes the connection gracefully — the usable primitive.
+//   - open: the served file path is built through a pointer held in
+//     writable data (the server NUL-terminates through it in user mode
+//     before open) — invalid candidate.
+//   - unlink: startup stale-socket cleanup through a pointer in writable
+//     data with a user-mode length scan first — invalid candidate.
+//   - write: response built through the connection's response pointer in
+//     user mode — invalid candidate.
+//   - mkdir/symlink/epoll_wait: static (LEA) pointers — observed only.
+func Lighttpd() (*Server, error) {
+	b := asm.NewBuilder("lighttpd", bin.KindExecutable)
+
+	b.Func("main").Entry("main")
+	// mkdir("/var/cache/lighttpd") — static.
+	b.LeaData(isa.R1, "s_cachedir")
+	sys(b, kernel.SysMkdir)
+	// symlink("/etc/lighttpd.conf", "/etc/lighttpd.link") — static.
+	b.LeaData(isa.R1, "s_confpath").LeaData(isa.R2, "s_linkpath")
+	sys(b, kernel.SysSymlink)
+	// unlink(stale unix socket) through a writable pointer; the cleanup
+	// code scans the path's first byte in user mode first.
+	b.LeaData(isa.R10, "sock_path_ptr").
+		Load(8, isa.R1, isa.R10, 0).
+		Load(1, isa.R11, isa.R1, 0) // user-mode scan
+	sys(b, kernel.SysUnlink)
+
+	emitListen(b, HTTPPort)
+	emitEpollCreate(b)
+	emitEpollAdd(b, isa.R6, "ev_scratch")
+
+	b.Label("loop")
+	b.MovRR(isa.R1, isa.R9).LeaData(isa.R2, "events").MovRI(isa.R3, 8).MovRI(isa.R4, ^uint64(0))
+	sys(b, kernel.SysEpollWait)
+	b.MovRR(isa.R11, isa.R0)
+	b.CmpRI(isa.R11, 0).Jle("loop")
+	b.MovRI(isa.R10, 0)
+	b.Label("evloop")
+	b.CmpRR(isa.R10, isa.R11).Jge("loop")
+	b.LeaData(isa.R12, "events").
+		MovRR(isa.R13, isa.R10).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R12, isa.R13).
+		Load(8, isa.R7, isa.R12, 8)
+	b.CmpRR(isa.R7, isa.R6).Jnz("client")
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 1) // nonblocking accept
+	sys(b, kernel.SysAccept)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpRI(isa.R7, 0).Jl("nextev")
+	// conn = conn_pool + fd*32 with fresh buffer pointers.
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.LeaData(isa.R14, "conn_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	b.LeaData(isa.R14, "resp_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 8, isa.R14)
+	emitEpollAdd(b, isa.R7, "ev_scratch")
+	b.Jmp("nextev")
+	b.Label("client")
+	b.Call("serve_conn")
+	b.Label("nextev")
+	b.AddRI(isa.R10, 1).Jmp("evloop")
+	b.EndFunc()
+
+	// serve_conn: fd in R7. One-shot request per readiness event.
+	b.Func("serve_conn")
+	b.Push(isa.R10).Push(isa.R11)
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	// read(fd, conn.bufptr, 48) — the usable primitive.
+	b.Load(8, isa.R2, isa.R12, 0).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 48)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R15, isa.R0)
+	b.CmpRI(isa.R15, 0).Jg("sc_got")
+	// Error/EOF: close gracefully.
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	b.Jmp("sc_out")
+	b.Label("sc_got")
+	// Build the served file path through doc_path_ptr: copy a fixed
+	// prefix marker and NUL-terminate through the pointer (user mode).
+	b.LeaData(isa.R10, "doc_path_ptr").
+		Load(8, isa.R1, isa.R10, 0).
+		MovRI(isa.R13, 0). // NUL terminator
+		Store(1, isa.R1, 19, isa.R13)
+	sys(b, kernel.SysOpen)
+	b.MovRR(isa.R14, isa.R0)
+	b.CmpRI(isa.R14, 0).Jl("sc_respond")
+	// read file contents into the static file buffer, close.
+	b.MovRR(isa.R1, isa.R14).LeaData(isa.R2, "filebuf").MovRI(isa.R3, 64)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R1, isa.R14)
+	sys(b, kernel.SysClose)
+	b.Label("sc_respond")
+	// Response through conn.rbufptr (user-mode store first).
+	b.Load(8, isa.R2, isa.R12, 8).
+		MovRI(isa.R13, 0x0a4b4f). // "OK\n"
+		Store(8, isa.R2, 0, isa.R13).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 16)
+	sys(b, kernel.SysWrite)
+	b.Label("sc_out")
+	b.Pop(isa.R11).Pop(isa.R10)
+	b.Ret()
+	b.EndFunc()
+
+	b.Data("s_cachedir", []byte("/var/cache/lighttpd\x00"))
+	b.Data("s_confpath", []byte("/etc/lighttpd.conf\x00"))
+	b.Data("s_linkpath", []byte("/etc/lighttpd.link\x00"))
+	b.Data("sock_path", []byte("/var/run/lighttpd.sock\x00"))
+	b.DataPtr("sock_path_ptr", "sock_path")
+	b.Data("doc_path", []byte("/var/www/index.html\x00\x00\x00\x00"))
+	b.DataPtr("doc_path_ptr", "doc_path")
+	b.BSS("ev_scratch", 16)
+	b.BSS("events", 8*16)
+	b.BSS("filebuf", 64)
+	b.BSS("conn_pool", 32*32)
+	b.BSS("conn_bufs", 32*64)
+	b.BSS("resp_bufs", 32*64)
+	b.Export("conn_pool", "conn_pool")
+
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lighttpd: %w", err)
+	}
+	return &Server{
+		Name:         "lighttpd",
+		Port:         HTTPPort,
+		Image:        img,
+		Suite:        lighttpdSuite,
+		ServiceCheck: httpServiceCheck(HTTPPort),
+	}, nil
+}
+
+func lighttpdSuite(env *ServerEnv) error {
+	for i := 0; i < 3; i++ {
+		env.Request(HTTPPort, []byte("GET /index.html\n\n"))
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+)
+
+// MemcachedPort is the memcached model's TCP port; MemcachedUDPPort is the
+// auxiliary datagram-style port.
+const (
+	MemcachedPort    = 11211
+	MemcachedUDPPort = 11212
+)
+
+// Memcached builds the Memcached-1.4 model: the main thread accepts
+// connections and hands them to a single shared connection-handling event
+// thread — the architecture behind the paper's epoll_wait false positive.
+//
+// Code-path inventory:
+//   - read: request buffer pointer from the connection struct; -EFAULT
+//     closes just that connection — the usable primitive.
+//   - epoll_wait: event-array pointer from the worker context; on error
+//     the connection-handling thread *exits* while the main thread keeps
+//     the process alive. The framework's default aliveness validation
+//     calls this usable; only the deeper service check catches that no
+//     connection is ever processed again (Table I's false positive).
+//   - recvfrom: the UDP-style port handler clears the source-address
+//     struct through a writable pointer before the call — invalid
+//     candidate.
+//   - send: response sent through the connection's response pointer after
+//     a user-mode store — invalid candidate.
+//   - open: static config path — observed only.
+func Memcached() (*Server, error) {
+	b := asm.NewBuilder("memcached", bin.KindExecutable)
+
+	b.Func("main").Entry("main")
+	// open("/etc/memcached.conf") — static.
+	b.LeaData(isa.R1, "s_confpath").MovRI(isa.R2, 0)
+	sys(b, kernel.SysOpen)
+	b.MovRR(isa.R12, isa.R0)
+	b.MovRR(isa.R1, isa.R12).LeaData(isa.R2, "cfgbuf").MovRI(isa.R3, 64)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R1, isa.R12)
+	sys(b, kernel.SysClose)
+
+	// TCP listener.
+	emitListen(b, MemcachedPort)
+	// UDP-style listener on the auxiliary port.
+	sys(b, kernel.SysSocket)
+	b.MovRR(isa.R5, isa.R0)
+	b.MovRR(isa.R1, isa.R5).MovRI(isa.R2, MemcachedUDPPort)
+	sys(b, kernel.SysBind)
+	b.MovRR(isa.R1, isa.R5)
+	sys(b, kernel.SysListen)
+	b.LeaData(isa.R12, "udp_listen_fd").Store(8, isa.R12, 0, isa.R5)
+
+	// Event thread setup: its own epoll; context carries the event-array
+	// pointer (the false-positive candidate's provenance).
+	emitEpollCreate(b)
+	b.LeaData(isa.R12, "worker_epfd").Store(8, isa.R12, 0, isa.R9)
+	// Watch the UDP listener from the event thread (fd moved out of R5,
+	// which emitEpollAdd scratches).
+	b.MovRR(isa.R7, isa.R5)
+	emitEpollAdd(b, isa.R7, "ev_scratch")
+	b.LeaData(isa.R12, "worker_ctx").
+		LeaData(isa.R14, "ev_array").
+		Store(8, isa.R12, 0, isa.R14)
+	b.LeaCode(isa.R1, "event_thread").MovRI(isa.R2, 0)
+	sys(b, kernel.SysSpawnThread)
+
+	// Main accept loop: blocking accept on TCP, register with the event
+	// thread's epoll.
+	b.Label("accept_loop")
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+	sys(b, kernel.SysAccept)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpRI(isa.R7, 0).Jl("accept_loop")
+	// conn = conn_pool + fd*32
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.LeaData(isa.R14, "conn_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	b.LeaData(isa.R14, "resp_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 8, isa.R14)
+	// Add to the event thread's epoll.
+	b.LeaData(isa.R12, "worker_epfd").Load(8, isa.R9, isa.R12, 0)
+	emitEpollAdd(b, isa.R7, "ev_scratch")
+	b.Jmp("accept_loop")
+	b.EndFunc()
+
+	// event_thread: the single shared connection handler.
+	b.Func("event_thread")
+	b.LeaData(isa.R10, "worker_ctx")
+	b.LeaData(isa.R12, "worker_epfd").Load(8, isa.R9, isa.R12, 0)
+	b.Label("et_loop")
+	// epoll_wait(epfd, [ctx.evptr], 2, 1s)
+	b.Load(8, isa.R2, isa.R10, 0).
+		MovRR(isa.R1, isa.R9).
+		MovRI(isa.R3, 2).
+		MovRI(isa.R4, kernel.TicksPerSecond)
+	sys(b, kernel.SysEpollWait)
+	b.CmpRI(isa.R0, 0).Jz("et_loop") // timeout: keep polling
+	b.CmpRI(isa.R0, 0).Jg("et_ready")
+	// epoll error: the handling thread gives up and exits — the process
+	// stays alive but no connection is ever served again.
+	sys(b, kernel.SysExitThread)
+	b.Label("et_ready")
+	// fd from the event array, through the pointer epoll_wait validated
+	// (still in R2).
+	b.Load(8, isa.R7, isa.R2, 8)
+	b.LeaData(isa.R12, "udp_listen_fd").Load(8, isa.R12, isa.R12, 0)
+	b.CmpRR(isa.R7, isa.R12).Jnz("et_tcp")
+	// UDP-style path: accept the datagram peer, then recvfrom with the
+	// source-address out-pointer, which the handler clears through the
+	// pointer first (user-mode store — the recvfrom crash point).
+	b.MovRR(isa.R1, isa.R12).MovRI(isa.R2, 1)
+	sys(b, kernel.SysAccept)
+	b.CmpRI(isa.R0, 0).Jl("et_loop")
+	b.MovRR(isa.R7, isa.R0)
+	b.LeaData(isa.R11, "srcaddr_ptr").
+		Load(8, isa.R4, isa.R11, 0).
+		MovRI(isa.R13, 0).
+		Store(8, isa.R4, 0, isa.R13) // user-mode clear of srcaddr
+	b.MovRR(isa.R1, isa.R7).LeaData(isa.R2, "udp_buf").MovRI(isa.R3, 48)
+	sys(b, kernel.SysRecvfrom)
+	b.CmpRI(isa.R0, 0).Jg("et_udp_reply")
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	b.Jmp("et_loop")
+	b.Label("et_udp_reply")
+	b.MovRR(isa.R1, isa.R7).LeaData(isa.R2, "udp_resp").MovRI(isa.R3, 8)
+	sys(b, kernel.SysWrite)
+	b.Jmp("et_loop")
+	b.Label("et_tcp")
+	// conn = conn_pool + fd*32; read(fd, conn.bufptr, 48).
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.Load(8, isa.R2, isa.R12, 0).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 48)
+	sys(b, kernel.SysRead)
+	b.CmpRI(isa.R0, 0).Jg("et_got")
+	// Error/EOF: close this connection gracefully, keep handling others
+	// — the usable read primitive.
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	b.Jmp("et_loop")
+	b.Label("et_got")
+	// Respond via send through the response pointer (user-mode store
+	// first — the send crash point).
+	b.Load(8, isa.R2, isa.R12, 8).
+		MovRI(isa.R13, 0x0a444e45). // "END\n"
+		Store(8, isa.R2, 0, isa.R13).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 16).
+		MovRI(isa.R4, 0)
+	sys(b, kernel.SysSend)
+	b.Jmp("et_loop")
+	b.EndFunc()
+
+	b.Data("s_confpath", []byte("/etc/memcached.conf\x00"))
+	b.Data("udp_resp", []byte("VERSION\n"))
+	b.BSS("cfgbuf", 64)
+	b.BSS("udp_listen_fd", 8)
+	b.BSS("worker_epfd", 8)
+	b.BSS("worker_ctx", 16)
+	b.BSS("ev_array", 32)
+	b.BSS("ev_scratch", 16)
+	b.BSS("udp_buf", 64)
+	b.BSS("srcaddr", 16)
+	b.BSS("conn_pool", 32*32)
+	b.BSS("conn_bufs", 32*64)
+	b.BSS("resp_bufs", 32*64)
+	b.DataPtr("srcaddr_ptr", "srcaddr")
+	b.Export("worker_ctx", "worker_ctx")
+	b.Export("conn_pool", "conn_pool")
+
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("memcached: %w", err)
+	}
+	return &Server{
+		Name:         "memcached",
+		Port:         MemcachedPort,
+		Image:        img,
+		Suite:        memcachedSuite,
+		ServiceCheck: memcachedServiceCheck,
+	}, nil
+}
+
+func memcachedSuite(env *ServerEnv) error {
+	for i := 0; i < 2; i++ {
+		env.Request(MemcachedPort, []byte("get key\n\n"))
+	}
+	// Exercise the UDP-style path once.
+	env.Request(MemcachedUDPPort, []byte("version\n"))
+	return nil
+}
+
+func memcachedServiceCheck(env *ServerEnv) bool {
+	if !env.Alive() {
+		return false
+	}
+	_, served := env.Request(MemcachedPort, []byte("get probe\n\n"))
+	return served
+}

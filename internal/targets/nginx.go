@@ -1,0 +1,237 @@
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+)
+
+// Nginx builds the Nginx-1.9 model: a single-process event-loop server that
+// keeps per-connection buffer structures (the ngx_buf_t shape of §VI-C).
+//
+// Code-path inventory (what the discovery pipeline should find):
+//   - recv: request buffer pointer loaded from the connection struct each
+//     iteration; the -EFAULT path closes the connection gracefully — the
+//     usable primitive.
+//   - write: response buffer pointer also lives in the connection struct,
+//     but the server builds the response *through* it in user mode first —
+//     corrupting it crashes (invalid candidate).
+//   - open: config path pointer held in writable data; the parser touches
+//     the path in user mode before open — invalid candidate.
+//   - connect: upstream sockaddr pointer in writable data; the server
+//     fills the struct in user mode first — invalid candidate.
+//   - mkdir/unlink/read/epoll_wait/epoll_ctl: pointers are code-relative
+//     (LEA) — observed but not attacker-reachable candidates.
+func Nginx() (*Server, error) {
+	b := asm.NewBuilder("nginx", bin.KindExecutable)
+
+	b.Func("main").Entry("main")
+	// mkdir("/tmp/nginx") — static path.
+	b.LeaData(isa.R1, "s_tmpdir")
+	sys(b, kernel.SysMkdir)
+	// unlink("/var/run/nginx.pid") — static path.
+	b.LeaData(isa.R1, "s_pidpath")
+	sys(b, kernel.SysUnlink)
+	// open(config) through a pointer in writable data; the config parser
+	// reads the path's first byte in user mode before the call.
+	b.LeaData(isa.R10, "cfg_path_ptr").
+		Load(8, isa.R1, isa.R10, 0).
+		Load(1, isa.R11, isa.R1, 0). // user-mode deref of the path
+		MovRI(isa.R2, 0)
+	sys(b, kernel.SysOpen)
+	b.MovRR(isa.R12, isa.R0)
+	// read(configfd, cfgbuf, 64) — static buffer.
+	b.MovRR(isa.R1, isa.R12).LeaData(isa.R2, "cfgbuf").MovRI(isa.R3, 64)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R1, isa.R12)
+	sys(b, kernel.SysClose)
+	// Upstream health probe: fill the sockaddr through its pointer, then
+	// connect.
+	sys(b, kernel.SysSocket)
+	b.MovRR(isa.R13, isa.R0)
+	b.LeaData(isa.R10, "upstream_ptr").
+		Load(8, isa.R2, isa.R10, 0).
+		MovRI(isa.R11, 9090).
+		Store(8, isa.R2, 0, isa.R11). // user-mode write into the sockaddr
+		MovRR(isa.R1, isa.R13)
+	sys(b, kernel.SysConnect)
+	b.MovRR(isa.R1, isa.R13)
+	sys(b, kernel.SysClose)
+
+	emitListen(b, HTTPPort)
+	emitEpollCreate(b)
+	emitEpollAdd(b, isa.R6, "ev_scratch")
+
+	b.Label("loop")
+	b.MovRR(isa.R1, isa.R9).LeaData(isa.R2, "events").MovRI(isa.R3, 8).MovRI(isa.R4, ^uint64(0))
+	sys(b, kernel.SysEpollWait)
+	b.MovRR(isa.R11, isa.R0) // n
+	b.CmpRI(isa.R11, 0).Jle("loop")
+	b.MovRI(isa.R10, 0) // i
+	b.Label("evloop")
+	b.CmpRR(isa.R10, isa.R11).Jge("loop")
+	b.LeaData(isa.R12, "events").
+		MovRR(isa.R13, isa.R10).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R12, isa.R13).
+		Load(8, isa.R7, isa.R12, 8) // fd from event data
+	b.CmpRR(isa.R7, isa.R6).Jnz("client")
+	// Accept a new connection and set up its conn struct.
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+	sys(b, kernel.SysAccept)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpRI(isa.R7, 0).Jl("nextev")
+	// conn = conn_pool + fd*32
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	// conn.bufptr = conn_bufs + fd*64
+	b.LeaData(isa.R14, "conn_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	// conn.rbufptr = resp_bufs + fd*64
+	b.LeaData(isa.R14, "resp_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 8, isa.R14)
+	// conn.used = 0
+	b.MovRI(isa.R13, 0).Store(8, isa.R12, 16, isa.R13)
+	// conn_table[fd] = conn
+	b.LeaData(isa.R14, "conn_table").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 8).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R14, 0, isa.R12)
+	emitEpollAdd(b, isa.R7, "ev_scratch")
+	b.Jmp("nextev")
+	b.Label("client")
+	b.Call("handle_conn")
+	b.Label("nextev")
+	b.AddRI(isa.R10, 1).Jmp("evloop")
+	b.EndFunc()
+
+	// handle_conn: fd in R7.
+	b.Func("handle_conn")
+	b.Push(isa.R10).Push(isa.R11)
+	// conn = conn_table[fd]
+	b.LeaData(isa.R12, "conn_table").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 8).
+		AddRR(isa.R12, isa.R13).
+		Load(8, isa.R12, isa.R12, 0)
+	// recv(fd, conn.bufptr + conn.used, 32) — the usable primitive: the
+	// buffer pointer is re-loaded from the struct on every iteration.
+	b.Load(8, isa.R2, isa.R12, 0).
+		Load(8, isa.R14, isa.R12, 16).
+		AddRR(isa.R2, isa.R14).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 32)
+	sys(b, kernel.SysRecv)
+	b.MovRR(isa.R15, isa.R0)
+	b.CmpRI(isa.R15, 0).Jg("hc_got")
+	// Error or EOF: terminate the connection gracefully.
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	b.LeaData(isa.R12, "conn_table").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 8).
+		AddRR(isa.R12, isa.R13).
+		MovRI(isa.R14, 0).
+		Store(8, isa.R12, 0, isa.R14)
+	b.Jmp("hc_out")
+	b.Label("hc_got")
+	// used += n
+	b.Load(8, isa.R14, isa.R12, 16).
+		AddRR(isa.R14, isa.R15).
+		Store(8, isa.R12, 16, isa.R14)
+	// Request complete when the last two bytes are "\n\n".
+	b.CmpRI(isa.R14, 2).Jl("hc_out")
+	b.Load(8, isa.R2, isa.R12, 0).
+		AddRR(isa.R2, isa.R14).
+		Load(1, isa.R13, isa.R2, -1).
+		CmpRI(isa.R13, 10).
+		Jnz("hc_out").
+		Load(1, isa.R13, isa.R2, -2).
+		CmpRI(isa.R13, 10).
+		Jnz("hc_out")
+	// Respond: build the response through the response-buffer pointer
+	// (user-mode store — this is why corrupting it crashes), then write.
+	b.Load(8, isa.R2, isa.R12, 8).
+		MovRI(isa.R13, 0x0a4b4f). // "OK\n"
+		Store(8, isa.R2, 0, isa.R13).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 16)
+	sys(b, kernel.SysWrite)
+	b.MovRI(isa.R13, 0).Store(8, isa.R12, 16, isa.R13)
+	b.Label("hc_out")
+	b.Pop(isa.R11).Pop(isa.R10)
+	b.Ret()
+	b.EndFunc()
+
+	b.Data("s_tmpdir", []byte("/tmp/nginx\x00"))
+	b.Data("s_pidpath", []byte("/var/run/nginx.pid\x00"))
+	b.Data("cfg_path", []byte("/etc/nginx.conf\x00"))
+	b.DataPtr("cfg_path_ptr", "cfg_path")
+	b.BSS("upstream_addr", 16)
+	b.DataPtr("upstream_ptr", "upstream_addr")
+	b.BSS("cfgbuf", 64)
+	b.BSS("ev_scratch", 16)
+	b.BSS("events", 8*16)
+	b.BSS("conn_pool", 32*32)
+	b.BSS("conn_bufs", 32*64)
+	b.BSS("resp_bufs", 32*64)
+	b.BSS("conn_table", 32*8)
+	b.Export("conn_pool", "conn_pool")
+	b.Export("conn_bufs", "conn_bufs")
+
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("nginx: %w", err)
+	}
+	return &Server{
+		Name:         "nginx",
+		Port:         HTTPPort,
+		Image:        img,
+		Suite:        nginxSuite,
+		ServiceCheck: httpServiceCheck(HTTPPort),
+	}, nil
+}
+
+// nginxSuite is the workload: complete requests plus the partial-request
+// shape the §VI-C PoC depends on.
+func nginxSuite(env *ServerEnv) error {
+	for i := 0; i < 2; i++ {
+		env.Request(HTTPPort, []byte("GET /index.html\n\n"))
+	}
+	cc, err := env.Kern.Connect(HTTPPort)
+	if err != nil {
+		return nil // server gone; validation judges via Alive/ServiceCheck
+	}
+	env.Step()
+	cc.Send([]byte("GET /partial")) // partial request: buffer stays allocated
+	env.Step()
+	cc.Send([]byte("\n\n")) // completion
+	env.Step()
+	cc.Recv()
+	cc.Close()
+	env.Step()
+	return nil
+}
+
+// httpServiceCheck probes liveness with one fresh request.
+func httpServiceCheck(port uint64) func(env *ServerEnv) bool {
+	return func(env *ServerEnv) bool {
+		if !env.Alive() {
+			return false
+		}
+		_, served := env.Request(port, []byte("GET /check\n\n"))
+		return served
+	}
+}

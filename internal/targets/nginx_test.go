@@ -1,0 +1,158 @@
+package targets
+
+import (
+	"bytes"
+	"testing"
+
+	"crashresist/internal/vm"
+)
+
+func TestNginxServesRequests(t *testing.T) {
+	srv, err := Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, served := env.Request(HTTPPort, []byte("GET /index.html\n\n"))
+	if !served {
+		t.Fatalf("no response (state=%v crash=%v)", env.Proc.State, env.Proc.Crash)
+	}
+	if !bytes.Contains(resp, []byte("OK")) {
+		t.Errorf("response = %q", resp)
+	}
+	// Partial then complete.
+	cc, err := env.Kern.Connect(HTTPPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	cc.Send([]byte("GET /x"))
+	env.Step()
+	if got := cc.Recv(); len(got) != 0 {
+		t.Errorf("premature response %q", got)
+	}
+	cc.Send([]byte("\n\n"))
+	env.Step()
+	if got := cc.Recv(); !bytes.Contains(got, []byte("OK")) {
+		t.Errorf("completion response = %q", got)
+	}
+	if !env.Alive() {
+		t.Error("server died")
+	}
+}
+
+func TestNginxSuiteAndServiceCheck(t *testing.T) {
+	srv, err := Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Suite(env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("suite crashed server: %v", env.Proc.Crash)
+	}
+	if !srv.ServiceCheck(env) {
+		t.Error("service check failed on healthy server")
+	}
+}
+
+func TestNginxRecvCorruptionGraceful(t *testing.T) {
+	// Manually emulate what the validation stage does for the recv
+	// candidate: corrupt a connection's buffer pointer, complete the
+	// request, expect graceful close and continued service.
+	srv, err := Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := env.Kern.Connect(HTTPPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	cc.Send([]byte("GET /y")) // partial: conn struct now holds buffer ptrs
+	env.Step()
+
+	// Find the connection's conn struct by scanning the pool for a live
+	// buffer pointer (fd numbers depend on descriptor reuse).
+	mod := env.Proc.Modules()[0]
+	poolOff, ok := mod.Image.Export("conn_pool")
+	if !ok {
+		t.Fatal("no conn_pool export")
+	}
+	connVA := uint64(0)
+	for i := 0; i < 32; i++ {
+		v, err := env.Proc.AS.ReadUint(mod.VA(poolOff)+uint64(i)*32, 8)
+		if err == nil && v != 0 {
+			connVA = mod.VA(poolOff) + uint64(i)*32
+		}
+	}
+	if connVA == 0 {
+		t.Fatal("no live conn struct")
+	}
+	if err := env.Proc.AS.WriteUint(connVA, 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("\n\n"))
+	env.Step()
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("server crashed: %v", env.Proc.Crash)
+	}
+	if got := cc.Recv(); len(got) != 0 {
+		t.Errorf("corrupted probe produced a response %q (want graceful close)", got)
+	}
+	if !srv.ServiceCheck(env) {
+		t.Error("server no longer serves after corrupted probe")
+	}
+}
+
+func TestNginxWriteCorruptionCrashes(t *testing.T) {
+	srv, err := Nginx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := env.Kern.Connect(HTTPPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	cc.Send([]byte("GET /z")) // allocate conn struct
+	env.Step()
+	mod := env.Proc.Modules()[0]
+	poolOff, _ := mod.Image.Export("conn_pool")
+	connVA := uint64(0)
+	for i := 0; i < 32; i++ {
+		v, err := env.Proc.AS.ReadUint(mod.VA(poolOff)+uint64(i)*32, 8)
+		if err == nil && v != 0 {
+			connVA = mod.VA(poolOff) + uint64(i)*32
+		}
+	}
+	if connVA == 0 {
+		t.Fatal("no live conn struct")
+	}
+	// Corrupt the response buffer pointer (conn+8): the server stores the
+	// response through it in user mode.
+	if err := env.Proc.AS.WriteUint(connVA+8, 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("\n\n"))
+	env.Step()
+	if env.Proc.State != vm.ProcCrashed {
+		t.Error("write-pointer corruption should crash nginx (invalid candidate)")
+	}
+}

@@ -1,0 +1,201 @@
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+)
+
+// PostgresPort is the PostgreSQL model's port.
+const PostgresPort = 5432
+
+// Postgres builds the PostgreSQL-9.0 model: the postmaster accepts
+// connections and spawns one worker per connection; workers are *expected*
+// to terminate when their connection ends, so a graceful worker exit is not
+// abnormal (§V-A).
+//
+// Code-path inventory:
+//   - epoll_wait: each worker polls its connection through an event-array
+//     pointer in its per-connection context; on error the worker exits
+//     gracefully while fresh connections get fresh workers — the usable
+//     primitive.
+//   - read: query buffer pointer from the connection struct, but the error
+//     path hands the buffer to the parser, which dereferences it in user
+//     mode — invalid candidate.
+//   - connect: per-worker replication-peer sockaddr filled through a
+//     writable pointer in user mode — invalid candidate.
+//   - sendmsg: the response msghdr length is updated through a writable
+//     pointer before the call — invalid candidate.
+//   - open/unlink: static paths at startup — observed only.
+func Postgres() (*Server, error) {
+	b := asm.NewBuilder("postgresql", bin.KindExecutable)
+
+	b.Func("main").Entry("main")
+	// open("/etc/postgresql.conf") — static.
+	b.LeaData(isa.R1, "s_confpath").MovRI(isa.R2, 0)
+	sys(b, kernel.SysOpen)
+	b.MovRR(isa.R12, isa.R0)
+	b.MovRR(isa.R1, isa.R12).LeaData(isa.R2, "cfgbuf").MovRI(isa.R3, 64)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R1, isa.R12)
+	sys(b, kernel.SysClose)
+	// unlink("/var/run/postgresql.pid") — static.
+	b.LeaData(isa.R1, "s_pidpath")
+	sys(b, kernel.SysUnlink)
+
+	emitListen(b, PostgresPort)
+
+	// Postmaster loop: accept, prepare the worker context, spawn.
+	b.Label("pm_loop")
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, 0)
+	sys(b, kernel.SysAccept)
+	b.MovRR(isa.R7, isa.R0)
+	b.CmpRI(isa.R7, 0).Jl("pm_loop")
+	// ctx = worker_ctxs + fd*16; ctx.evptr = ev_arrays + fd*16
+	b.LeaData(isa.R12, "worker_ctxs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R12, isa.R13).
+		LeaData(isa.R14, "ev_arrays").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	// conn = conn_pool + fd*32 with query/response buffers.
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.LeaData(isa.R14, "query_bufs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 64).
+		AddRR(isa.R14, isa.R13).
+		Store(8, isa.R12, 0, isa.R14)
+	// msghdr = msg_hdrs + fd*16: {bufptr, len}; point it at the static
+	// response and record its address in the conn struct.
+	b.LeaData(isa.R14, "msg_hdrs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R14, isa.R13).
+		LeaData(isa.R15, "resp_text").
+		Store(8, isa.R14, 0, isa.R15).
+		Store(8, isa.R12, 8, isa.R14)
+	// spawn worker(fd)
+	b.LeaCode(isa.R1, "worker").MovRR(isa.R2, isa.R7)
+	sys(b, kernel.SysSpawnThread)
+	b.Jmp("pm_loop")
+	b.EndFunc()
+
+	// worker: connection fd arrives in R1.
+	b.Func("worker")
+	b.MovRR(isa.R7, isa.R1)
+	// Replication health probe: fill the peer sockaddr through its
+	// writable pointer (user-mode store — the connect crash point).
+	sys(b, kernel.SysSocket)
+	b.MovRR(isa.R13, isa.R0)
+	b.LeaData(isa.R10, "peer_addr_ptr").
+		Load(8, isa.R2, isa.R10, 0).
+		MovRI(isa.R11, 5433).
+		Store(8, isa.R2, 0, isa.R11).
+		MovRR(isa.R1, isa.R13)
+	sys(b, kernel.SysConnect)
+	b.MovRR(isa.R1, isa.R13)
+	sys(b, kernel.SysClose)
+	// Own epoll watching just this connection.
+	emitEpollCreate(b)
+	b.MovRR(isa.R8, isa.R7) // fd out of emitEpollAdd scratch range
+	emitEpollAdd(b, isa.R8, "ev_scratch")
+	// ctx = worker_ctxs + fd*16
+	b.LeaData(isa.R10, "worker_ctxs").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 16).
+		AddRR(isa.R10, isa.R13)
+	// conn = conn_pool + fd*32
+	b.LeaData(isa.R12, "conn_pool").
+		MovRR(isa.R13, isa.R7).
+		MulRI(isa.R13, 32).
+		AddRR(isa.R12, isa.R13)
+	b.Label("w_loop")
+	// epoll_wait(epfd, [ctx.evptr], 1, 1s)
+	b.Load(8, isa.R2, isa.R10, 0).
+		MovRR(isa.R1, isa.R9).
+		MovRI(isa.R3, 1).
+		MovRI(isa.R4, kernel.TicksPerSecond)
+	sys(b, kernel.SysEpollWait)
+	b.CmpRI(isa.R0, 0).Jz("w_loop") // timeout
+	b.CmpRI(isa.R0, 0).Jg("w_ready")
+	// epoll error: this worker terminates gracefully; the postmaster
+	// keeps accepting and spawning fresh workers — the usable primitive.
+	sys(b, kernel.SysExitThread)
+	b.Label("w_ready")
+	// read(fd, conn.bufptr, 48)
+	b.Load(8, isa.R2, isa.R12, 0).
+		MovRR(isa.R1, isa.R7).
+		MovRI(isa.R3, 48)
+	sys(b, kernel.SysRead)
+	b.MovRR(isa.R15, isa.R0)
+	b.CmpRI(isa.R15, 0).Jg("w_got")
+	// Error/EOF: the protocol layer hands the buffer to the parser for
+	// diagnostics, which dereferences it (user mode — the read crash
+	// point), then the worker closes and exits as expected.
+	b.Load(8, isa.R2, isa.R12, 0).
+		Load(1, isa.R14, isa.R2, 0)
+	b.MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysClose)
+	sys(b, kernel.SysExitThread)
+	b.Label("w_got")
+	// Respond via sendmsg: update the msghdr length through its pointer
+	// (user-mode store — the sendmsg crash point).
+	b.Load(8, isa.R2, isa.R12, 8).
+		MovRI(isa.R13, 9).
+		Store(8, isa.R2, 8, isa.R13). // msghdr.len = 9
+		MovRR(isa.R1, isa.R7)
+	sys(b, kernel.SysSendmsg)
+	b.Jmp("w_loop")
+	b.EndFunc()
+
+	b.Data("s_confpath", []byte("/etc/postgresql.conf\x00"))
+	b.Data("s_pidpath", []byte("/var/run/postgresql.pid\x00"))
+	b.Data("resp_text", []byte("SELECT 1\n\x00\x00\x00\x00\x00\x00\x00"))
+	b.BSS("cfgbuf", 64)
+	b.BSS("ev_scratch", 16)
+	b.BSS("peer_addr", 16)
+	b.DataPtr("peer_addr_ptr", "peer_addr")
+	b.BSS("worker_ctxs", 32*16)
+	b.BSS("ev_arrays", 32*16)
+	b.BSS("conn_pool", 32*32)
+	b.BSS("query_bufs", 32*64)
+	b.BSS("msg_hdrs", 32*16)
+	b.Export("worker_ctxs", "worker_ctxs")
+	b.Export("conn_pool", "conn_pool")
+
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("postgresql: %w", err)
+	}
+	return &Server{
+		Name:         "postgresql",
+		Port:         PostgresPort,
+		Image:        img,
+		Suite:        postgresSuite,
+		ServiceCheck: postgresServiceCheck,
+	}, nil
+}
+
+func postgresSuite(env *ServerEnv) error {
+	for i := 0; i < 2; i++ {
+		env.Request(PostgresPort, []byte("SELECT version();\n\n"))
+	}
+	return nil
+}
+
+func postgresServiceCheck(env *ServerEnv) bool {
+	if !env.Alive() {
+		return false
+	}
+	_, served := env.Request(PostgresPort, []byte("SELECT 1;\n\n"))
+	return served
+}

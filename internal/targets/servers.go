@@ -1,0 +1,32 @@
+package targets
+
+import "fmt"
+
+// AllServers builds the five server targets of Table I in the paper's
+// column order.
+func AllServers() ([]*Server, error) {
+	builders := []func() (*Server, error){Nginx, Cherokee, Lighttpd, Memcached, Postgres}
+	out := make([]*Server, 0, len(builders))
+	for _, build := range builders {
+		s, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("build servers: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ServerByName builds one server target by its Table I name.
+func ServerByName(name string) (*Server, error) {
+	all, err := AllServers()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range all {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown server %q", name)
+}

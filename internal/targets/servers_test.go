@@ -1,0 +1,299 @@
+package targets
+
+import (
+	"bytes"
+	"testing"
+
+	"crashresist/internal/vm"
+)
+
+func TestAllServersBuildAndServe(t *testing.T) {
+	servers, err := AllServers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 5 {
+		t.Fatalf("servers = %d", len(servers))
+	}
+	for _, srv := range servers {
+		srv := srv
+		t.Run(srv.Name, func(t *testing.T) {
+			env, err := srv.NewEnv(200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Suite(env); err != nil {
+				t.Fatalf("suite: %v", err)
+			}
+			if env.Proc.State == vm.ProcCrashed {
+				t.Fatalf("suite crashed the server: %v", env.Proc.Crash)
+			}
+			if !srv.ServiceCheck(env) {
+				t.Error("service check failed on healthy server")
+			}
+		})
+	}
+}
+
+func TestServerByName(t *testing.T) {
+	s, err := ServerByName("cherokee")
+	if err != nil || s.Name != "cherokee" {
+		t.Errorf("ServerByName = %v, %v", s, err)
+	}
+	if _, err := ServerByName("apache"); err == nil {
+		t.Error("unknown server should fail")
+	}
+}
+
+func TestLighttpdReadCorruptionGraceful(t *testing.T) {
+	srv, err := Lighttpd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One good request to learn the accepted fd range; lighttpd startup
+	// fds: conf open (none kept), listener, epoll. First conn fd varies;
+	// find the conn struct by probing the pool after a partial send.
+	cc, err := env.Kern.Connect(HTTPPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	// Locate the conn struct: scan the pool for a non-zero bufptr.
+	mod := env.Proc.Modules()[0]
+	poolOff, _ := mod.Image.Export("conn_pool")
+	poolVA := mod.VA(poolOff)
+	connVA := uint64(0)
+	for i := 0; i < 32; i++ {
+		v, err := env.Proc.AS.ReadUint(poolVA+uint64(i)*32, 8)
+		if err == nil && v != 0 {
+			connVA = poolVA + uint64(i)*32
+		}
+	}
+	if connVA == 0 {
+		t.Fatal("no live conn struct found")
+	}
+	if err := env.Proc.AS.WriteUint(connVA, 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("GET /index.html\n\n"))
+	env.Step()
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("read corruption crashed lighttpd: %v", env.Proc.Crash)
+	}
+	if got := cc.Recv(); len(got) != 0 {
+		t.Errorf("corrupted read produced response %q", got)
+	}
+	if !srv.ServiceCheck(env) {
+		t.Error("lighttpd stopped serving after corrupted probe")
+	}
+}
+
+func TestCherokeeEpollCorruptionDegradesNotCrashes(t *testing.T) {
+	srv, err := Cherokee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(202)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve one request as baseline.
+	if _, served := env.Request(HTTPPort, []byte("GET /a\n\n")); !served {
+		t.Fatalf("baseline request unserved (crash=%v)", env.Proc.Crash)
+	}
+
+	// Corrupt worker 0's event-array pointer.
+	mod := env.Proc.Modules()[0]
+	ctxOff, _ := mod.Image.Export("thread_ctxs")
+	if err := env.Proc.AS.WriteUint(mod.VA(ctxOff), 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	// The process must stay alive and keep serving through siblings.
+	for i := 0; i < 3; i++ {
+		if _, served := env.Request(HTTPPort, []byte("GET /b\n\n")); !served {
+			t.Fatalf("request %d unserved after corruption (state=%v crash=%v)",
+				i, env.Proc.State, env.Proc.Crash)
+		}
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("cherokee crashed: %v", env.Proc.Crash)
+	}
+}
+
+func TestCherokeeTimingSideChannel(t *testing.T) {
+	// Serving N requests must consume measurably more virtual time when a
+	// worker is stalled in the failing epoll loop (§VI-D).
+	measure := func(corrupt bool) uint64 {
+		srv, err := Cherokee()
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := srv.NewEnv(203)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrupt {
+			mod := env.Proc.Modules()[0]
+			ctxOff, _ := mod.Image.Export("thread_ctxs")
+			if err := env.Proc.AS.WriteUint(mod.VA(ctxOff), 8, 0xdead0000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := env.Proc.Clock
+		for i := 0; i < 20; i++ {
+			env.Request(HTTPPort, []byte("GET /t\n\n"))
+		}
+		return env.Proc.Clock - start
+	}
+	base := measure(false)
+	slow := measure(true)
+	if slow <= base {
+		t.Errorf("stalled-thread run (%d ticks) not slower than baseline (%d ticks)", slow, base)
+	}
+}
+
+func TestMemcachedEpollFalsePositive(t *testing.T) {
+	srv, err := Memcached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(204)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, served := env.Request(MemcachedPort, []byte("get k\n\n")); !served {
+		t.Fatalf("baseline unserved (crash=%v)", env.Proc.Crash)
+	}
+
+	// Corrupt the shared event thread's event-array pointer.
+	mod := env.Proc.Modules()[0]
+	ctxOff, _ := mod.Image.Export("worker_ctx")
+	if err := env.Proc.AS.WriteUint(mod.VA(ctxOff), 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+
+	// The naive aliveness check still passes (the false positive)...
+	if !env.Alive() {
+		t.Fatal("process should stay alive (main thread accepts)")
+	}
+	// ...but the deeper service check fails: the handling thread is gone.
+	if srv.ServiceCheck(env) {
+		t.Error("service check should fail: connection thread exited")
+	}
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("crashed: %v", env.Proc.Crash)
+	}
+}
+
+func TestMemcachedReadCorruptionGraceful(t *testing.T) {
+	srv, err := Memcached()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(205)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := env.Kern.Connect(MemcachedPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	// Find the conn struct (first one with a live bufptr).
+	mod := env.Proc.Modules()[0]
+	poolOff, _ := mod.Image.Export("conn_pool")
+	poolVA := mod.VA(poolOff)
+	connVA := uint64(0)
+	for i := 0; i < 32; i++ {
+		v, err := env.Proc.AS.ReadUint(poolVA+uint64(i)*32, 8)
+		if err == nil && v != 0 {
+			connVA = poolVA + uint64(i)*32
+		}
+	}
+	if connVA == 0 {
+		t.Fatal("no conn struct")
+	}
+	if err := env.Proc.AS.WriteUint(connVA, 8, 0xdead0000); err != nil {
+		t.Fatal(err)
+	}
+	cc.Send([]byte("get x\n\n"))
+	env.Step()
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("crashed: %v", env.Proc.Crash)
+	}
+	if got := cc.Recv(); len(got) != 0 {
+		t.Errorf("corrupted read produced %q", got)
+	}
+	// The event thread survives; new connections still served.
+	if !srv.ServiceCheck(env) {
+		t.Error("memcached stopped serving after graceful read EFAULT")
+	}
+}
+
+func TestPostgresEpollCorruptionUsable(t *testing.T) {
+	srv, err := Postgres()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(206)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open a connection so a worker spawns; keep it alive.
+	cc, err := env.Kern.Connect(PostgresPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Step()
+	// Corrupt that worker's event-array pointer: the worker must exit
+	// gracefully without taking the postmaster down.
+	mod := env.Proc.Modules()[0]
+	ctxsOff, _ := mod.Image.Export("worker_ctxs")
+	ctxsVA := mod.VA(ctxsOff)
+	corrupted := false
+	for i := 0; i < 32; i++ {
+		v, err := env.Proc.AS.ReadUint(ctxsVA+uint64(i)*16, 8)
+		if err == nil && v != 0 {
+			if err := env.Proc.AS.WriteUint(ctxsVA+uint64(i)*16, 8, 0xdead0000); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("no worker ctx found")
+	}
+	env.Step()
+	if env.Proc.State == vm.ProcCrashed {
+		t.Fatalf("crashed: %v", env.Proc.Crash)
+	}
+	cc.Close()
+	env.Step()
+	// Fresh connections get fresh workers: still serviceable.
+	if !srv.ServiceCheck(env) {
+		t.Error("postgres stopped serving after worker-probe corruption")
+	}
+}
+
+func TestPostgresResponds(t *testing.T) {
+	srv, err := Postgres()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.NewEnv(207)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, served := env.Request(PostgresPort, []byte("SELECT 1;\n\n"))
+	if !served {
+		t.Fatalf("unserved (state=%v crash=%v)", env.Proc.State, env.Proc.Crash)
+	}
+	if !bytes.Contains(resp, []byte("SELECT")) {
+		t.Errorf("response = %q", resp)
+	}
+}

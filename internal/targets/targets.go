@@ -1,0 +1,201 @@
+// Package targets builds the synthetic analysis subjects of the evaluation:
+// five Linux-model server programs reproducing the dispatch architectures of
+// Nginx 1.9, Cherokee 1.2, Lighttpd 1.4, Memcached 1.4 and PostgreSQL 9.0
+// (Table I), two Windows-model browser processes reproducing the Internet
+// Explorer 11 and Firefox 46 case studies (§VI-A/B, §VII-A), and the
+// 187-DLL system library corpus behind Tables II and III.
+//
+// Every target is real M64 code assembled through internal/asm; the
+// discovery pipelines analyze these binaries exactly as the paper's tools
+// analyzed ELF servers and PE DLLs. Generator-side knowledge (which syscall
+// should end up usable, which filter accepts access violations) exists only
+// to *construct* the binaries — the analyses rediscover it from the code.
+package targets
+
+import (
+	"fmt"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/kernel"
+	"crashresist/internal/taint"
+	"crashresist/internal/vm"
+)
+
+// Default ports and sizing.
+const (
+	HTTPPort = 80
+	// StartupBudget bounds the virtual ticks a server may spend in
+	// initialization before its listener must be up.
+	StartupBudget = 5_000_000
+	// SuiteBudget bounds one test-suite step.
+	SuiteBudget = 20_000_000
+)
+
+// Server describes one server target: its binary plus the test-suite driver
+// the discovery pipeline replays (the paper ran each server's standard test
+// suite under instrumentation).
+type Server struct {
+	Name  string
+	Port  uint64
+	Image *bin.Image
+	// Suite drives the server's workload: connections, requests,
+	// responses. It must be deterministic and tolerate unserved
+	// connections (validation replays run with corrupted state).
+	Suite func(env *ServerEnv) error
+	// ServiceCheck opens a fresh connection after the suite and reports
+	// whether the server still serves it — the deeper liveness check
+	// the paper proposes to kill the Memcached false positive.
+	ServiceCheck func(env *ServerEnv) bool
+}
+
+// ServerEnv is one instantiated run of a server: process, kernel, taint.
+type ServerEnv struct {
+	Proc  *vm.Process
+	Kern  *kernel.Kernel
+	Taint *taint.Engine
+}
+
+// NewEnv boots a fresh environment for the server: loads the image,
+// attaches kernel and taint engine, starts main and runs initialization
+// until the process goes idle (listening).
+func (s *Server) NewEnv(seed int64) (*ServerEnv, error) {
+	env, err := s.NewEnvNoStart(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Boot(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return env, nil
+}
+
+// NewEnvNoStart prepares the environment without starting execution, so
+// callers can install tracers or corruption hooks first.
+func (s *Server) NewEnvNoStart(seed int64) (*ServerEnv, error) {
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformLinux, Seed: seed})
+	k := kernel.New()
+	k.Attach(p)
+	te := taint.New()
+	te.Attach(p)
+	env := &ServerEnv{Proc: p, Kern: k, Taint: te}
+	seedFilesystem(k)
+	if _, err := p.LoadImage(s.Image); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return env, nil
+}
+
+// Boot starts the main thread and runs until the server idles in its event
+// loop.
+func (e *ServerEnv) Boot() error {
+	if _, err := e.Proc.Start(); err != nil {
+		return err
+	}
+	res := e.Proc.RunUntilIdle(StartupBudget)
+	if res.State == vm.ProcCrashed {
+		return fmt.Errorf("crashed during startup: %v", e.Proc.Crash)
+	}
+	return nil
+}
+
+// Step runs the process until it goes idle again (or the budget expires).
+func (e *ServerEnv) Step() vm.RunResult {
+	return e.Proc.RunUntilIdle(SuiteBudget)
+}
+
+// Alive reports whether the server process has not crashed or exited.
+func (e *ServerEnv) Alive() bool { return e.Proc.Alive() }
+
+// Request opens a connection, sends the payload, pumps the VM in small
+// slices until the server responds (or the budget runs out), and returns the
+// response. served is false when the server never wrote back.
+func (e *ServerEnv) Request(port uint64, payload []byte) (resp []byte, served bool) {
+	resp, _, served = e.RequestTimed(port, payload)
+	return resp, served
+}
+
+// RequestTimed is Request plus the virtual ticks that elapsed between
+// sending the payload and the response arriving — the measurement behind the
+// Cherokee timing side channel (§VI-D). On an unserved request the tick
+// count covers the whole (exhausted) budget.
+func (e *ServerEnv) RequestTimed(port uint64, payload []byte) (resp []byte, ticks uint64, served bool) {
+	cc, err := e.Kern.Connect(port)
+	if err != nil {
+		return nil, 0, false
+	}
+	cc.Send(payload)
+	start := e.Proc.Clock
+	// The slice is the measurement granularity: it must sit well below a
+	// request's service time difference for the Cherokee timing side
+	// channel (§VI-D) to be observable.
+	const slice = 64
+	for e.Proc.Clock-start < requestBudget && e.Proc.Alive() {
+		res := e.Proc.Run(slice)
+		if resp = cc.Recv(); len(resp) > 0 {
+			break
+		}
+		if res.State == vm.ProcIdle && res.Ticks == 0 {
+			// Fully idle with no pending timers: the virtual clock
+			// cannot advance, so the request will never be served.
+			break
+		}
+	}
+	ticks = e.Proc.Clock - start
+	cc.Close()
+	e.Proc.Run(slice)
+	return resp, ticks, len(resp) > 0
+}
+
+// requestBudget bounds the virtual time one request may take before being
+// declared unserved (covers several worker timeout periods).
+const requestBudget = 4 * kernel.TicksPerSecond
+
+// seedFilesystem installs the configuration files every server model opens
+// at startup.
+func seedFilesystem(k *kernel.Kernel) {
+	k.AddFile("/etc/nginx.conf", []byte("worker_processes 1;\n"))
+	k.AddFile("/etc/cherokee.conf", []byte("server!threads = 4\n"))
+	k.AddFile("/etc/lighttpd.conf", []byte("server.port = 80\n"))
+	k.AddFile("/etc/memcached.conf", []byte("-m 64\n"))
+	k.AddFile("/etc/postgresql.conf", []byte("max_connections = 8\n"))
+	k.AddFile("/var/www/index.html", []byte("<html>hello</html>"))
+	k.AddFile("/var/run/server.pid", []byte("1\n"))
+	k.AddFile("/var/log/access.log", nil)
+}
+
+// sys emits "R0 = num; syscall".
+func sys(b *asm.Builder, num uint64) *asm.Builder {
+	return b.MovRI(isa.R0, num).Syscall()
+}
+
+// emitListen emits socket/bind(port)/listen, leaving the listener fd in R6.
+func emitListen(b *asm.Builder, port uint64) {
+	sys(b, kernel.SysSocket)
+	b.MovRR(isa.R6, isa.R0)
+	b.MovRR(isa.R1, isa.R6).MovRI(isa.R2, port)
+	sys(b, kernel.SysBind)
+	b.MovRR(isa.R1, isa.R6)
+	sys(b, kernel.SysListen)
+}
+
+// emitEpollCreate emits epoll_create, leaving the epoll fd in R9.
+func emitEpollCreate(b *asm.Builder) {
+	sys(b, kernel.SysEpollCreate)
+	b.MovRR(isa.R9, isa.R0)
+}
+
+// emitEpollAdd registers fdReg (read interest) on the epoll fd in R9, using
+// the scratch event struct at the named symbol. The event's data field is
+// the fd itself. Clobbers R1..R5; fdReg must not be R4 or R5.
+func emitEpollAdd(b *asm.Builder, fdReg isa.Register, evSym string) {
+	b.LeaData(isa.R4, evSym).
+		MovRI(isa.R5, kernel.EpollIn).
+		Store(4, isa.R4, 0, isa.R5).
+		Store(8, isa.R4, 8, fdReg).
+		MovRR(isa.R1, isa.R9).
+		MovRI(isa.R2, kernel.EpollCtlAdd).
+		MovRR(isa.R3, fdReg)
+	sys(b, kernel.SysEpollCtl)
+}

@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"testing"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+)
+
+// benchLoopProc builds a tight arithmetic+memory loop process.
+func benchLoopProc(b *testing.B) *Process {
+	b.Helper()
+	bb := asm.NewBuilder("bench.exe", bin.KindExecutable)
+	bb.Func("main").Entry("main").
+		LeaData(isa.R2, "cell").
+		Label("loop").
+		Load(8, isa.R3, isa.R2, 0).
+		AddRI(isa.R3, 1).
+		Store(8, isa.R2, 0, isa.R3).
+		Jmp("loop").
+		EndFunc()
+	bb.BSS("cell", 8)
+	img, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewProcess(Config{Platform: PlatformWindows, Seed: 1})
+	if _, err := p.LoadImage(img); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkExecLoop measures raw interpreter throughput (one op per
+// iteration of b.N ticks).
+func BenchmarkExecLoop(b *testing.B) {
+	p := benchLoopProc(b)
+	b.ResetTimer()
+	p.Run(uint64(b.N))
+	b.ReportMetric(float64(p.Stats.Instructions)/float64(b.N), "instr/op")
+}
+
+// BenchmarkSEHRoundTrip measures one guarded fault + filter evaluation +
+// unwind.
+func BenchmarkSEHRoundTrip(b *testing.B) {
+	bb := asm.NewBuilder("bench.exe", bin.KindExecutable)
+	bb.Func("main").Entry("main").
+		MovRI(isa.R1, 0xbad0000).
+		Label("loop").
+		Label("try").
+		Load(8, isa.R0, isa.R1, 0).
+		Label("try_end").
+		Halt().
+		Label("handler").
+		Jmp("loop").
+		EndFunc()
+	bb.Func("filter").
+		MovRI(isa.R3, 0xC0000005).
+		CmpRR(isa.R1, isa.R3).
+		Jz("yes").
+		MovRI(isa.R0, 0).
+		Ret().
+		Label("yes").
+		MovRI(isa.R0, 1).
+		Ret().
+		EndFunc()
+	bb.Guard("main", "try", "try_end", "filter", "handler")
+	img, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewProcess(Config{Platform: PlatformWindows, Seed: 1})
+	if _, err := p.LoadImage(img); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := p.Stats.FaultsHandled
+	for p.Stats.FaultsHandled-start < uint64(b.N) {
+		p.Run(10_000)
+		if !p.Alive() {
+			b.Fatal("process died")
+		}
+	}
+}
+
+// BenchmarkProcessBoot measures process creation + image load + start.
+func BenchmarkProcessBoot(b *testing.B) {
+	bb := asm.NewBuilder("bench.exe", bin.KindExecutable)
+	bb.Func("main").Entry("main").Halt().EndFunc()
+	img, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewProcess(Config{Platform: PlatformWindows, Seed: int64(i)})
+		if _, err := p.LoadImage(img); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Start(); err != nil {
+			b.Fatal(err)
+		}
+		p.RunUntilIdle(1000)
+	}
+}

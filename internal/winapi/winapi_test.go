@@ -1,0 +1,368 @@
+package winapi
+
+import (
+	"testing"
+
+	"crashresist/internal/asm"
+	"crashresist/internal/bin"
+	"crashresist/internal/isa"
+	"crashresist/internal/mem"
+	"crashresist/internal/vm"
+)
+
+// callAPI builds a one-shot harness process calling the named API with the
+// given first argument, and returns the process after it runs.
+func callAPI(t *testing.T, reg *Registry, api string, arg1 uint64) *vm.Process {
+	t.Helper()
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		MovRI(isa.R1, arg1).
+		MovRI(isa.R2, arg1).
+		MovRI(isa.R3, arg1).
+		MovRI(isa.R4, arg1).
+		MovRI(isa.R5, arg1).
+		CallImport("", api).
+		Halt().
+		EndFunc()
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 21})
+	p.API = reg
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	return p
+}
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(Descriptor{Name: "PureFn", NArgs: 2, Cat: CatNoPointer})
+	r.Register(Descriptor{Name: "KernelRead", NArgs: 2, PtrArgs: []int{0}, Cat: CatKernelValidated})
+	r.Register(Descriptor{Name: "QueryFill", NArgs: 1, PtrArgs: []int{0}, Cat: CatQueryStruct, Writes: true})
+	r.Register(Descriptor{Name: "StubDeref", NArgs: 2, PtrArgs: []int{0}, Cat: CatUserDeref})
+	return r
+}
+
+func TestResolve(t *testing.T) {
+	r := testRegistry()
+	id, err := r.Resolve("KernelRead")
+	if err != nil || id != 2 {
+		t.Errorf("Resolve = %d %v", id, err)
+	}
+	if _, err := r.Resolve("Missing"); err == nil {
+		t.Error("Resolve of unknown API should fail")
+	}
+}
+
+func TestNoPointerAPI(t *testing.T) {
+	p := callAPI(t, testRegistry(), "PureFn", 0xdead0000)
+	if p.State != vm.ProcExited || p.ExitCode != StatusOK {
+		t.Errorf("state=%v exit=%d", p.State, p.ExitCode)
+	}
+}
+
+func TestKernelValidatedGraceful(t *testing.T) {
+	// Invalid pointer: error return, no crash.
+	p := callAPI(t, testRegistry(), "KernelRead", 0xdead0000)
+	if p.State != vm.ProcExited {
+		t.Fatalf("state = %v crash=%v, want graceful exit", p.State, p.Crash)
+	}
+	if p.ExitCode != ErrInvalidPointer {
+		t.Errorf("ret = %d, want ErrInvalidPointer", p.ExitCode)
+	}
+}
+
+func TestKernelValidatedSuccess(t *testing.T) {
+	// Build a harness pointing at mapped data.
+	r := testRegistry()
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		LeaData(isa.R1, "buf").
+		CallImport("", "KernelRead").
+		Halt().
+		EndFunc()
+	b.BSS("buf", 32)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 21})
+	p.API = r
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.ExitCode != StatusOK {
+		t.Errorf("ret = %d, want OK", p.ExitCode)
+	}
+}
+
+func TestQueryStructFillsResult(t *testing.T) {
+	r := testRegistry()
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		LeaData(isa.R1, "buf").
+		CallImport("", "QueryFill").
+		LeaData(isa.R2, "buf").
+		Load(8, isa.R0, isa.R2, 0).
+		Halt().
+		EndFunc()
+	b.BSS("buf", 32)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 21})
+	p.API = r
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	d, _ := r.Lookup("QueryFill")
+	if p.ExitCode != uint64(d.ID)<<8 {
+		t.Errorf("struct content = %#x, want id pattern %#x", p.ExitCode, uint64(d.ID)<<8)
+	}
+}
+
+func TestUserDerefFaultsOnBadPointer(t *testing.T) {
+	// Without a handler, the user-mode fault kills the process: the
+	// defining difference from kernel-validated APIs.
+	p := callAPI(t, testRegistry(), "StubDeref", 0xdead0000)
+	if p.State != vm.ProcCrashed {
+		t.Fatalf("state = %v, want crash", p.State)
+	}
+	if p.Crash.Exc.Code != vm.ExcAccessViolation {
+		t.Errorf("crash code = %#x", p.Crash.Exc.Code)
+	}
+}
+
+func TestUserDerefFaultIsCatchable(t *testing.T) {
+	// A guarded call site survives the stub fault — the IE PoC shape,
+	// where EnterCriticalSection's deref is guarded by the caller.
+	r := testRegistry()
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		MovRI(isa.R1, 0xdead0000).
+		Label("try").
+		CallImport("", "StubDeref").
+		Label("try_end").
+		MovRI(isa.R0, 1).
+		Halt().
+		Label("handler").
+		MovRI(isa.R0, 2).
+		Halt().
+		EndFunc()
+	b.Guard("main", "try", "try_end", asm.CatchAll, "handler")
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 21})
+	p.API = r
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.State != vm.ProcExited || p.ExitCode != 2 {
+		t.Errorf("state=%v exit=%d crash=%v, want handled (2)", p.State, p.ExitCode, p.Crash)
+	}
+}
+
+func TestUserDerefSuccessPath(t *testing.T) {
+	r := testRegistry()
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		LeaData(isa.R1, "buf").
+		CallImport("", "StubDeref").
+		Halt().
+		EndFunc()
+	b.BSS("buf", 16)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 21})
+	p.API = r
+	if _, err := p.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilIdle(1_000_000)
+	if p.State != vm.ProcExited || p.ExitCode != StatusOK {
+		t.Errorf("state=%v exit=%d", p.State, p.ExitCode)
+	}
+}
+
+func TestGenerateCorpusCounts(t *testing.T) {
+	params := CorpusParams{
+		Seed:             7,
+		Total:            500,
+		WithPointer:      300,
+		CrashResistant:   40,
+		QueryStructShare: 50,
+	}
+	r, err := GenerateCorpus(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 500 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	var withPtr, graceful, query, kernel, deref int
+	for _, d := range r.All() {
+		if d.HasPointerArg() {
+			withPtr++
+		}
+		switch d.Cat {
+		case CatQueryStruct:
+			query++
+			graceful++
+		case CatKernelValidated:
+			kernel++
+			graceful++
+		case CatUserDeref:
+			deref++
+		}
+	}
+	if withPtr != 300 {
+		t.Errorf("withPtr = %d", withPtr)
+	}
+	if graceful != 40 {
+		t.Errorf("graceful = %d", graceful)
+	}
+	if query != 20 || kernel != 20 {
+		t.Errorf("query/kernel = %d/%d, want 20/20", query, kernel)
+	}
+	if deref != 260 {
+		t.Errorf("deref = %d", deref)
+	}
+	// Pointer-arg indices must be within NArgs.
+	for _, d := range r.All() {
+		for _, ai := range d.PtrArgs {
+			if ai >= d.NArgs {
+				t.Fatalf("%s: ptr arg %d >= nargs %d", d.Name, ai, d.NArgs)
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	p := CorpusParams{Seed: 9, Total: 100, WithPointer: 50, CrashResistant: 5, QueryStructShare: 60}
+	r1, err := GenerateCorpus(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GenerateCorpus(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r1.All(), r2.All()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Cat != b[i].Cat {
+			t.Fatalf("corpus not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateCorpusRejectsBadParams(t *testing.T) {
+	if _, err := GenerateCorpus(CorpusParams{Total: 10, WithPointer: 20}); err == nil {
+		t.Error("WithPointer > Total should fail")
+	}
+	if _, err := GenerateCorpus(CorpusParams{Total: 10, WithPointer: 5, CrashResistant: 6}); err == nil {
+		t.Error("CrashResistant > WithPointer should fail")
+	}
+}
+
+func TestDefaultCorpusParamsMatchPaper(t *testing.T) {
+	p := DefaultCorpusParams()
+	if p.Total != 20672 || p.WithPointer != 11521 || p.CrashResistant != 400 {
+		t.Errorf("params = %+v", p)
+	}
+}
+
+func TestRegistryAllOrdered(t *testing.T) {
+	r := testRegistry()
+	all := r.All()
+	if len(all) != 4 {
+		t.Fatalf("All = %d", len(all))
+	}
+	for i, d := range all {
+		if d.ID != uint32(i+1) {
+			t.Errorf("descriptor %d has id %d", i, d.ID)
+		}
+	}
+	if d, ok := r.ByID(3); !ok || d.Name != "QueryFill" {
+		t.Errorf("ByID(3) = %v %v", d, ok)
+	}
+	if _, ok := r.ByID(99); ok {
+		t.Error("ByID(99) should miss")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for c := CatNoPointer; c <= CatUserDeref; c++ {
+		if c.String() == "category?" {
+			t.Errorf("category %d unnamed", c)
+		}
+	}
+}
+
+func TestUserDerefUnmappedFlag(t *testing.T) {
+	// The exception carries the unmapped flag so the mapped-only policy
+	// can distinguish probe targets.
+	proc := callAPI(t, testRegistry(), "StubDeref", 0xdead0000)
+	if !proc.Crash.Exc.Unmapped {
+		t.Error("unmapped flag not propagated")
+	}
+	// Mapped-but-protected: map a page read-only and ask for write.
+	r2 := NewRegistry()
+	r2.Register(Descriptor{Name: "StubWrite", NArgs: 1, PtrArgs: []int{0}, Cat: CatUserDeref, Writes: true})
+	b := asm.NewBuilder("harness.exe", bin.KindExecutable)
+	b.Func("main").Entry("main").
+		LeaData(isa.R1, "ro").
+		CallImport("", "StubWrite").
+		Halt().
+		EndFunc()
+	b.BSS("ro", 16)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 3})
+	p2.API = r2
+	mod, err := p2.LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roVA := mod.VA(img.BSSStart())
+	if err := p2.AS.Protect(roVA&^uint64(mem.PageSize-1), mem.PageSize, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p2.RunUntilIdle(1_000_000)
+	if p2.State != vm.ProcCrashed {
+		t.Fatalf("state = %v", p2.State)
+	}
+	if p2.Crash.Exc.Unmapped {
+		t.Error("protected-page fault misreported as unmapped")
+	}
+}
