@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: test race fuzz-short bench golden-update
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-short:
+	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=30s ./internal/isa
+	$(GO) test -fuzz=FuzzImageParse -fuzztime=30s ./internal/bin
+
+bench:
+	$(GO) test -bench=. -benchtime=1x
+
+golden-update:
+	$(GO) test ./cmd/crtables -run TestGolden -update

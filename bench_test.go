@@ -95,13 +95,13 @@ func BenchmarkAPIFunnel(b *testing.B) {
 
 // benchSEHReport runs the full-scale exception-handler pipeline once per
 // call (E3/E4 share this).
-func benchSEHReport(b *testing.B) *SEHReport {
+func benchSEHReport(b *testing.B, opts ...Option) *SEHReport {
 	b.Helper()
 	br, err := IE(PaperBrowserParams())
 	if err != nil {
 		b.Fatal(err)
 	}
-	rep, err := AnalyzeBrowserSEH(br, 42)
+	rep, err := AnalyzeBrowserSEH(br, 42, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -153,6 +153,89 @@ func BenchmarkTableIII(b *testing.B) {
 		}
 		printOnce("Table III", FormatTableIII(rep, NamedDLLs()))
 		b.ReportMetric(float64(rep.TotalAVFilters), "accepting-filters")
+	}
+}
+
+// checkTableIII pins Table III's corpus totals for the parallel variants.
+func checkTableIII(b *testing.B, rep *SEHReport) {
+	b.Helper()
+	if rep.TotalModules != 187 || rep.TotalHandlers != 6745 || rep.TotalFilters != 5751 {
+		b.Fatalf("corpus = %d modules / %d handlers / %d filters, want 187/6745/5751",
+			rep.TotalModules, rep.TotalHandlers, rep.TotalFilters)
+	}
+	if rep.TotalAVFilters != 808 || rep.TotalAVHandlers != 1797 {
+		b.Fatalf("accepting = %d filters / %d handlers, want 808/1797",
+			rep.TotalAVFilters, rep.TotalAVHandlers)
+	}
+}
+
+// BenchmarkTableIIISequential pins the one-worker baseline for the
+// sequential-versus-parallel comparison (worker pool pinned to 1; the
+// symex cache stays on in both variants).
+func BenchmarkTableIIISequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := benchSEHReport(b, WithWorkers(1))
+		checkTableIII(b, rep)
+		b.ReportMetric(float64(rep.TotalAVFilters), "accepting-filters")
+	}
+}
+
+// BenchmarkTableIIIParallel fans the per-DLL analysis across GOMAXPROCS
+// workers. Compare against BenchmarkTableIIISequential; the ratio is the
+// parallel speedup on this host (≥2× on ≥4 cores; on a single-core host
+// the two are equal by construction).
+func BenchmarkTableIIIParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := benchSEHReport(b, WithWorkers(0))
+		checkTableIII(b, rep)
+		b.ReportMetric(float64(rep.TotalAVFilters), "accepting-filters")
+	}
+}
+
+// BenchmarkTableIParallel runs the five server pipelines concurrently
+// (per-server fan-out plus per-candidate validation fan-out).
+func BenchmarkTableIParallel(b *testing.B) {
+	servers, err := Servers()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := AnalyzeServers(servers, 42, WithWorkers(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		usable := 0
+		for _, rep := range reports {
+			usable += len(rep.Usable())
+		}
+		if usable != 5 {
+			b.Fatalf("usable primitives = %d, want 5 (one per server)", usable)
+		}
+		b.ReportMetric(float64(usable), "usable")
+	}
+}
+
+// BenchmarkAPIFunnelParallel shards the 11,521-function fuzzing battery
+// and the controllability replays across GOMAXPROCS workers.
+func BenchmarkAPIFunnelParallel(b *testing.B) {
+	br, err := IE(PaperBrowserParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := AnalyzeBrowserAPIs(br, 42, WithWorkers(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Total != 20672 || rep.WithPointer != 11521 || rep.CrashResistant != 400 {
+			b.Fatalf("funnel head = %d/%d/%d", rep.Total, rep.WithPointer, rep.CrashResistant)
+		}
+		if rep.OnPath != 25 || rep.JSContext != 12 || rep.Controllable != 0 {
+			b.Fatalf("funnel tail = %d/%d/%d", rep.OnPath, rep.JSContext, rep.Controllable)
+		}
+		b.ReportMetric(float64(rep.CrashResistant), "crash-resistant")
 	}
 }
 

@@ -27,6 +27,7 @@ func run() error {
 		pipeline = flag.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
 		scale    = flag.String("scale", "small", "browser corpus scale: paper or small")
 		seed     = flag.Int64("seed", 42, "analysis seed")
+		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func run() error {
 		if pl != "syscall" {
 			return fmt.Errorf("pipeline %q needs a browser target", pl)
 		}
-		return runServer(*target, *seed)
+		return runServer(*target, *seed, *workers)
 	}
 
 	params := crashresist.SmallBrowserParams()
@@ -66,14 +67,14 @@ func run() error {
 
 	switch pl {
 	case "api":
-		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed)
+		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed, crashresist.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
 		fmt.Println(crashresist.FormatFunnel(rep))
 		return nil
 	case "seh":
-		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed)
+		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, crashresist.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
@@ -106,12 +107,12 @@ func run() error {
 	}
 }
 
-func runServer(name string, seed int64) error {
+func runServer(name string, seed int64, workers int) error {
 	srv, err := crashresist.Server(name)
 	if err != nil {
 		return err
 	}
-	rep, err := crashresist.AnalyzeServer(srv, seed)
+	rep, err := crashresist.AnalyzeServer(srv, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
 	}

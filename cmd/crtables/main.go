@@ -4,128 +4,143 @@
 //	crtables -table all            # everything, paper scale
 //	crtables -table 1              # Table I only
 //	crtables -table funnel -scale small
+//	crtables -table 3 -workers 8   # parallel SEH pipeline
 //
 // Tables: 1 (syscall candidates), funnel (§V-B API funnel), 2 (guarded code
 // locations), 3 (unique exception filters), prior (§VII-A rediscovery),
 // rate (§VII-C fault rates).
+//
+// Output is deterministic: for a fixed -seed and -scale, every -workers
+// value produces byte-identical tables (see the golden regression tests).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"crashresist"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var (
+		table   = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
+		scale   = flag.String("scale", "paper", "corpus scale: paper or small")
+		seed    = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
+		workers = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if err := emit(os.Stdout, *table, *scale, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "crtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		table = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
-		scale = flag.String("scale", "paper", "corpus scale: paper or small")
-		seed  = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
-	)
-	flag.Parse()
-
-	params := crashresist.PaperBrowserParams()
-	if *scale == "small" {
+// emit writes the selected artifacts to w. It is the whole command behind
+// the flag parsing, so tests can snapshot output byte-for-byte.
+func emit(w io.Writer, table, scale string, seed int64, workers int) error {
+	var params crashresist.BrowserParams
+	switch scale {
+	case "paper":
+		params = crashresist.PaperBrowserParams()
+	case "small":
 		params = crashresist.SmallBrowserParams()
+	default:
+		return fmt.Errorf("unknown -scale %q (want paper or small)", scale)
 	}
 
-	want := func(name string) bool { return *table == "all" || *table == name }
+	switch table {
+	case "all", "1", "funnel", "2", "3", "prior", "rate":
+	default:
+		return fmt.Errorf("unknown -table %q (want 1, funnel, 2, 3, prior, rate, or all)", table)
+	}
+
+	want := func(name string) bool { return table == "all" || table == name }
 
 	if want("1") {
-		if err := printTableI(*seed); err != nil {
+		if err := printTableI(w, seed, workers); err != nil {
 			return err
 		}
 	}
 	if want("funnel") {
-		if err := printFunnel(params, *seed); err != nil {
+		if err := printFunnel(w, params, seed, workers); err != nil {
 			return err
 		}
 	}
 	if want("2") || want("3") {
-		if err := printSEHTables(params, *seed, want("2"), want("3")); err != nil {
+		if err := printSEHTables(w, params, seed, workers, want("2"), want("3")); err != nil {
 			return err
 		}
 	}
 	if want("prior") {
-		if err := printPriorWork(params, *seed); err != nil {
+		if err := printPriorWork(w, params, seed, workers); err != nil {
 			return err
 		}
 	}
 	if want("rate") {
-		if err := printRates(params, *seed); err != nil {
+		if err := printRates(w, params, seed); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func printTableI(seed int64) error {
+func printTableI(w io.Writer, seed int64, workers int) error {
 	servers, err := crashresist.Servers()
 	if err != nil {
 		return err
 	}
-	var reports []*crashresist.SyscallReport
-	for _, srv := range servers {
-		rep, err := crashresist.AnalyzeServer(srv, seed)
-		if err != nil {
-			return fmt.Errorf("analyze %s: %w", srv.Name, err)
-		}
-		reports = append(reports, rep)
+	reports, err := crashresist.AnalyzeServers(servers, seed, crashresist.WithWorkers(workers))
+	if err != nil {
+		return err
 	}
-	fmt.Println(crashresist.FormatTableI(reports))
+	fmt.Fprintln(w, crashresist.FormatTableI(reports))
 	for _, rep := range reports {
-		fmt.Printf("%s usable: %v\n", rep.Server, rep.Usable())
+		fmt.Fprintf(w, "%s usable: %v\n", rep.Server, rep.Usable())
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printFunnel(params crashresist.BrowserParams, seed int64) error {
+func printFunnel(w io.Writer, params crashresist.BrowserParams, seed int64, workers int) error {
 	br, err := crashresist.IE(params)
 	if err != nil {
 		return err
 	}
-	rep, err := crashresist.AnalyzeBrowserAPIs(br, seed)
+	rep, err := crashresist.AnalyzeBrowserAPIs(br, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
-	fmt.Println(crashresist.FormatFunnel(rep))
+	fmt.Fprintln(w, crashresist.FormatFunnel(rep))
 	return nil
 }
 
-func printSEHTables(params crashresist.BrowserParams, seed int64, t2, t3 bool) error {
+func printSEHTables(w io.Writer, params crashresist.BrowserParams, seed int64, workers int, t2, t3 bool) error {
 	br, err := crashresist.IE(params)
 	if err != nil {
 		return err
 	}
-	rep, err := crashresist.AnalyzeBrowserSEH(br, seed)
+	rep, err := crashresist.AnalyzeBrowserSEH(br, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	if t2 {
-		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
+		fmt.Fprintln(w, crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
 	}
 	if t3 {
-		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
+		fmt.Fprintln(w, crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
 	}
 	return nil
 }
 
-func printPriorWork(params crashresist.BrowserParams, seed int64) error {
+func printPriorWork(w io.Writer, params crashresist.BrowserParams, seed int64, workers int) error {
 	ie, err := crashresist.IE(params)
 	if err != nil {
 		return err
 	}
-	ieRep, err := crashresist.AnalyzeBrowserSEH(ie, seed)
+	ieRep, err := crashresist.AnalyzeBrowserSEH(ie, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
@@ -133,22 +148,22 @@ func printPriorWork(params crashresist.BrowserParams, seed int64) error {
 	if err != nil {
 		return err
 	}
-	ffRep, err := crashresist.AnalyzeBrowserSEH(ff, seed)
+	ffRep, err := crashresist.AnalyzeBrowserSEH(ff, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	iePW := crashresist.PriorWork(ieRep)
 	ffPW := crashresist.PriorWork(ffRep)
-	fmt.Println("§VII-A prior-primitive rediscovery")
-	fmt.Printf("  IE MUTX::Enter catch-all found automatically:   %v\n", iePW.IECatchAllFound)
-	fmt.Printf("  IE post-update filter needs manual vetting:     %v\n", iePW.IEPostUpdateNeedsManual)
-	fmt.Printf("  Firefox runtime VEH invisible to scope tables:  %v\n", ffPW.FirefoxVEHMissed)
-	fmt.Printf("  ... recovered by the registration-scan extension: %v\n", ffPW.FirefoxVEHFoundByExtension)
-	fmt.Println()
+	fmt.Fprintln(w, "§VII-A prior-primitive rediscovery")
+	fmt.Fprintf(w, "  IE MUTX::Enter catch-all found automatically:   %v\n", iePW.IECatchAllFound)
+	fmt.Fprintf(w, "  IE post-update filter needs manual vetting:     %v\n", iePW.IEPostUpdateNeedsManual)
+	fmt.Fprintf(w, "  Firefox runtime VEH invisible to scope tables:  %v\n", ffPW.FirefoxVEHMissed)
+	fmt.Fprintf(w, "  ... recovered by the registration-scan extension: %v\n", ffPW.FirefoxVEHFoundByExtension)
+	fmt.Fprintln(w)
 	return nil
 }
 
-func printRates(params crashresist.BrowserParams, seed int64) error {
+func printRates(w io.Writer, params crashresist.BrowserParams, seed int64) error {
 	br, err := crashresist.Firefox(params)
 	if err != nil {
 		return err
@@ -187,16 +202,16 @@ func printRates(params crashresist.BrowserParams, seed int64) error {
 	}
 	scanPeak := det.Peak(rec.Exceptions())
 
-	fmt.Println("§VII-C access-violation rates (peak events per window)")
-	fmt.Printf("  normal browsing: %d\n", browsePeak)
-	fmt.Printf("  asm.js stress:   %d (bursts, below threshold %d)\n", asmPeak, det.Threshold)
-	fmt.Printf("  scanning attack: %d (detected: %v)\n", scanPeak, det.Detect(rec.Exceptions()))
+	fmt.Fprintln(w, "§VII-C access-violation rates (peak events per window)")
+	fmt.Fprintf(w, "  normal browsing: %d\n", browsePeak)
+	fmt.Fprintf(w, "  asm.js stress:   %d (bursts, below threshold %d)\n", asmPeak, det.Threshold)
+	fmt.Fprintf(w, "  scanning attack: %d (detected: %v)\n", scanPeak, det.Detect(rec.Exceptions()))
 
 	// The closing argument: a detector-evading scan becomes impractical.
 	probes := crashresist.ProbesToCover(1<<43, 8<<20)
 	ticks := det.StealthScanTicks(probes)
-	fmt.Printf("  sub-threshold full-arena scan: %d probes ≥ %.1f virtual hours\n",
+	fmt.Fprintf(w, "  sub-threshold full-arena scan: %d probes ≥ %.1f virtual hours\n",
 		probes, float64(ticks)/(3600*1_000_000))
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }

@@ -141,23 +141,57 @@ func PaperBrowserParams() BrowserParams { return targets.PaperBrowserParams() }
 // SmallBrowserParams returns a quick test scale.
 func SmallBrowserParams() BrowserParams { return targets.SmallBrowserParams() }
 
+// Option tunes an analysis run. All pipelines are deterministic for a
+// given seed: every option combination yields byte-identical reports.
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers bounds an analysis's worker pool. Values <= 0 (and omitting
+// the option) select GOMAXPROCS. The worker count affects wall-clock time
+// only, never report contents.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // AnalyzeServer runs the Linux syscall pipeline against one server target.
 // The seed fixes ASLR across the observation and validation runs.
-func AnalyzeServer(srv *ServerTarget, seed int64) (*SyscallReport, error) {
-	a := &discover.SyscallAnalyzer{Seed: seed}
+func AnalyzeServer(srv *ServerTarget, seed int64, opts ...Option) (*SyscallReport, error) {
+	o := buildOptions(opts)
+	a := &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers}
 	return a.Analyze(srv)
 }
 
+// AnalyzeServers runs the Linux syscall pipeline against every server in
+// parallel, returning reports in input order.
+func AnalyzeServers(servers []*ServerTarget, seed int64, opts ...Option) ([]*SyscallReport, error) {
+	o := buildOptions(opts)
+	a := &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers}
+	return a.AnalyzeAll(servers)
+}
+
 // AnalyzeBrowserAPIs runs the Windows API pipeline against a browser target.
-func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64) (*APIFunnelReport, error) {
-	a := &discover.APIAnalyzer{Seed: seed}
+func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
+	o := buildOptions(opts)
+	a := &discover.APIAnalyzer{Seed: seed, Workers: o.workers}
 	return a.Analyze(br)
 }
 
 // AnalyzeBrowserSEH runs the exception-handler pipeline against a browser
 // target.
-func AnalyzeBrowserSEH(br *BrowserTarget, seed int64) (*SEHReport, error) {
-	a := &discover.SEHAnalyzer{Seed: seed}
+func AnalyzeBrowserSEH(br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
+	o := buildOptions(opts)
+	a := &discover.SEHAnalyzer{Seed: seed, Workers: o.workers}
 	return a.Analyze(br)
 }
 

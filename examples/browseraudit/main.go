@@ -10,56 +10,61 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"crashresist"
 )
 
 func main() {
-	if err := run(); err != nil {
+	paper := flag.Bool("paper", false, "use the full paper-scale corpora")
+	flag.Parse()
+	if err := run(os.Stdout, *paper); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	paper := flag.Bool("paper", false, "use the full paper-scale corpora")
-	flag.Parse()
+// Run executes the audit at test scale, writing its report to w. It is
+// exported so the smoke tests can drive the whole flow in-process.
+func Run(w io.Writer) error { return run(w, false) }
 
+func run(w io.Writer, paper bool) error {
 	params := crashresist.SmallBrowserParams()
-	if *paper {
+	if paper {
 		params = crashresist.PaperBrowserParams()
 	}
 
-	fmt.Println("building Internet Explorer 11 model ...")
+	fmt.Fprintln(w, "building Internet Explorer 11 model ...")
 	ie, err := crashresist.IE(params)
 	if err != nil {
 		return err
 	}
 
-	fmt.Println("pipeline 2: Windows API fuzzing + call-site harvesting ...")
+	fmt.Fprintln(w, "pipeline 2: Windows API fuzzing + call-site harvesting ...")
 	funnel, err := crashresist.AnalyzeBrowserAPIs(ie, 42)
 	if err != nil {
 		return err
 	}
-	fmt.Println()
-	fmt.Println(crashresist.FormatFunnel(funnel))
+	fmt.Fprintln(w, )
+	fmt.Fprintln(w, crashresist.FormatFunnel(funnel))
 
-	fmt.Println("pipeline 3: scope-table extraction + symbolic filter execution ...")
+	fmt.Fprintln(w, "pipeline 3: scope-table extraction + symbolic filter execution ...")
 	sehRep, err := crashresist.AnalyzeBrowserSEH(ie, 42)
 	if err != nil {
 		return err
 	}
-	fmt.Println()
-	fmt.Println(crashresist.FormatTableII(sehRep, crashresist.NamedDLLs()))
-	fmt.Println(crashresist.FormatTableIII(sehRep, crashresist.NamedDLLs()))
+	fmt.Fprintln(w, )
+	fmt.Fprintln(w, crashresist.FormatTableII(sehRep, crashresist.NamedDLLs()))
+	fmt.Fprintln(w, crashresist.FormatTableIII(sehRep, crashresist.NamedDLLs()))
 
-	fmt.Printf("candidates for manual vetting: %d on-path accepting handlers\n",
+	fmt.Fprintf(w, "candidates for manual vetting: %d on-path accepting handlers\n",
 		len(sehRep.Candidates))
 
-	fmt.Println("\n§VII-A: locating the previously published primitives ...")
+	fmt.Fprintln(w, "\n§VII-A: locating the previously published primitives ...")
 	iePW := crashresist.PriorWork(sehRep)
-	fmt.Printf("  IE MUTX::Enter catch-all rediscovered automatically: %v\n", iePW.IECatchAllFound)
-	fmt.Printf("  IE post-update filter flagged for manual analysis:   %v\n", iePW.IEPostUpdateNeedsManual)
+	fmt.Fprintf(w, "  IE MUTX::Enter catch-all rediscovered automatically: %v\n", iePW.IECatchAllFound)
+	fmt.Fprintf(w, "  IE post-update filter flagged for manual analysis:   %v\n", iePW.IEPostUpdateNeedsManual)
 
 	ff, err := crashresist.Firefox(params)
 	if err != nil {
@@ -70,6 +75,6 @@ func run() error {
 		return err
 	}
 	ffPW := crashresist.PriorWork(ffRep)
-	fmt.Printf("  Firefox VEH primitive missed by the static pipeline: %v\n", ffPW.FirefoxVEHMissed)
+	fmt.Fprintf(w, "  Firefox VEH primitive missed by the static pipeline: %v\n", ffPW.FirefoxVEHMissed)
 	return nil
 }

@@ -17,7 +17,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"crashresist"
 	"crashresist/internal/vm"
@@ -26,22 +28,24 @@ import (
 const regionSize = 32 * 4096
 
 func main() {
-	if err := run(); err != nil {
+	if err := Run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	if err := actOne(); err != nil {
+// Run executes all four acts, writing the narration to w. It is exported
+// so the smoke tests can drive the whole flow in-process.
+func Run(w io.Writer) error {
+	if err := actOne(w); err != nil {
 		return fmt.Errorf("act 1: %w", err)
 	}
-	if err := actTwo(); err != nil {
+	if err := actTwo(w); err != nil {
 		return fmt.Errorf("act 2: %w", err)
 	}
-	if err := actThree(); err != nil {
+	if err := actThree(w); err != nil {
 		return fmt.Errorf("act 3: %w", err)
 	}
-	return actFour()
+	return actFour(w)
 }
 
 // newFirefox boots a Firefox-model environment.
@@ -61,8 +65,8 @@ func newFirefox(seed int64, policy vm.Policy) (*crashresist.BrowserEnv, error) {
 	return env, nil
 }
 
-func actOne() error {
-	fmt.Println("--- act 1: crash resistance defeats information hiding ---")
+func actOne(w io.Writer) error {
+	fmt.Fprintln(w, "--- act 1: crash resistance defeats information hiding ---")
 	env, err := newFirefox(1, vm.Policy{})
 	if err != nil {
 		return err
@@ -80,13 +84,13 @@ func actOne() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hidden region found at %#x in %d probes, %d crashes\n\n",
+	fmt.Fprintf(w, "hidden region found at %#x in %d probes, %d crashes\n\n",
 		base, s.Stats.Probes, s.Stats.Crashes)
 	return nil
 }
 
-func actTwo() error {
-	fmt.Println("--- act 2: re-randomization stales the leak ---")
+func actTwo(w io.Writer) error {
+	fmt.Fprintln(w, "--- act 2: re-randomization stales the leak ---")
 	env, err := newFirefox(2, vm.Policy{})
 	if err != nil {
 		return err
@@ -104,7 +108,7 @@ func actTwo() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("probe of leaked base %#x before move: %v\n", leaked, res)
+	fmt.Fprintf(w, "probe of leaked base %#x before move: %v\n", leaked, res)
 	if err := rr.Move(); err != nil {
 		return err
 	}
@@ -112,13 +116,13 @@ func actTwo() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("probe of stale base %#x after move:  %v (region now at a new secret base)\n\n",
+	fmt.Fprintf(w, "probe of stale base %#x after move:  %v (region now at a new secret base)\n\n",
 		leaked, res)
 	return nil
 }
 
-func actThree() error {
-	fmt.Println("--- act 3: mapped-only AV policy kills the scan ---")
+func actThree(w io.Writer) error {
+	fmt.Fprintln(w, "--- act 3: mapped-only AV policy kills the scan ---")
 	env, err := newFirefox(3, crashresist.MappedOnlyPolicy())
 	if err != nil {
 		return err
@@ -127,19 +131,19 @@ func actThree() error {
 	if _, err := env.Call("xul.dll", "asmjs_run", 5); err != nil {
 		return err
 	}
-	fmt.Println("asm.js guard-page faults: still handled")
+	fmt.Fprintln(w, "asm.js guard-page faults: still handled")
 	// ... but the first unmapped probe is fatal.
 	o, err := crashresist.NewFirefoxOracle(env)
 	if err != nil {
 		return err
 	}
 	o.Probe(0xdead0000)
-	fmt.Printf("first unmapped probe: process state = %v\n\n", env.Proc.State)
+	fmt.Fprintf(w, "first unmapped probe: process state = %v\n\n", env.Proc.State)
 	return nil
 }
 
-func actFour() error {
-	fmt.Println("--- act 4: fault-rate detection flags the scan ---")
+func actFour(w io.Writer) error {
+	fmt.Fprintln(w, "--- act 4: fault-rate detection flags the scan ---")
 	env, err := newFirefox(4, vm.Policy{})
 	if err != nil {
 		return err
@@ -151,14 +155,14 @@ func actFour() error {
 	if err := env.Browse(); err != nil {
 		return err
 	}
-	fmt.Printf("normal browsing: peak AV rate %d (detected: %v)\n",
+	fmt.Fprintf(w, "normal browsing: peak AV rate %d (detected: %v)\n",
 		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
 
 	rec.ResetExceptions()
 	if _, err := env.Call("xul.dll", "asmjs_run", 20); err != nil {
 		return err
 	}
-	fmt.Printf("asm.js stress:   peak AV rate %d (detected: %v)\n",
+	fmt.Fprintf(w, "asm.js stress:   peak AV rate %d (detected: %v)\n",
 		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
 
 	rec.ResetExceptions()
@@ -171,7 +175,7 @@ func actFour() error {
 			return err
 		}
 	}
-	fmt.Printf("scanning attack: peak AV rate %d (detected: %v)\n",
+	fmt.Fprintf(w, "scanning attack: peak AV rate %d (detected: %v)\n",
 		det.Peak(rec.Exceptions()), det.Detect(rec.Exceptions()))
 	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives all four acts in-process: the attack lands without a
+// crash, re-randomization stales the leak, the mapped-only policy kills
+// the scan, and the rate detector flags it.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf); err != nil {
+		t.Fatalf("Run: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"hidden region found at",
+		"probe of stale base",
+		"asm.js guard-page faults: still handled",
+		"scanning attack: peak AV rate 101 (detected: true)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "crashes: 1") {
+		t.Errorf("act 1 scan crashed the browser:\n%s", out)
+	}
+}

@@ -6,25 +6,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"crashresist"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := Run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// Run executes the example, writing its report to w. It is exported so the
+// smoke tests can drive the whole flow in-process.
+func Run(w io.Writer) error {
 	// 1. Build the Nginx 1.9 model — a real M64 binary with the
 	//    connection-buffer architecture of §VI-C.
 	srv, err := crashresist.Server("nginx")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("target: %s (%d bytes of code, %d functions)\n",
+	fmt.Fprintf(w, "target: %s (%d bytes of code, %d functions)\n",
 		srv.Name, len(srv.Image.Text), len(srv.Image.Symbols))
 
 	// 2. Run the discovery pipeline: taint-tracked test suite, candidate
@@ -33,15 +37,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\ndiscovery results:")
+	fmt.Fprintln(w, "\ndiscovery results:")
 	for _, f := range report.Findings {
-		fmt.Printf("  %-10s → %-20s (%s)\n", f.Syscall, f.Status, f.Detail)
+		fmt.Fprintf(w, "  %-10s → %-20s (%s)\n", f.Syscall, f.Status, f.Detail)
 	}
 	usable := report.Usable()
 	if len(usable) == 0 {
 		return fmt.Errorf("no usable primitive found")
 	}
-	fmt.Printf("\nusable crash-resistant primitive: %s\n", usable[0])
+	fmt.Fprintf(w, "\nusable crash-resistant primitive: %s\n", usable[0])
 
 	// 3. Weaponize it: boot a victim instance, hide a SafeStack-style
 	//    region, and let the oracle find it without crashing the server.
@@ -60,12 +64,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nprobing via %s:\n", scanner.Oracle.Name())
-	fmt.Printf("  hidden region located at %#x (truth: %#x)\n", base, hidden)
-	fmt.Printf("  probes: %d, crashes: %d\n", scanner.Stats.Probes, scanner.Stats.Crashes)
+	fmt.Fprintf(w, "\nprobing via %s:\n", scanner.Oracle.Name())
+	fmt.Fprintf(w, "  hidden region located at %#x (truth: %#x)\n", base, hidden)
+	fmt.Fprintf(w, "  probes: %d, crashes: %d\n", scanner.Stats.Probes, scanner.Stats.Crashes)
 	if !srv.ServiceCheck(env) {
 		return fmt.Errorf("server stopped serving")
 	}
-	fmt.Println("  server still serves clients — the scan was invisible")
+	fmt.Fprintln(w, "  server still serves clients — the scan was invisible")
 	return nil
 }

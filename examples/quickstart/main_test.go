@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full example in-process: discovery must find the
+// recv primitive, the oracle must locate the hidden region, and the server
+// must survive the scan.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf); err != nil {
+		t.Fatalf("Run: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"target: nginx",
+		"usable crash-resistant primitive: recv",
+		"crashes: 0",
+		"server still serves clients — the scan was invisible",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,44 +7,48 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"crashresist"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := Run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// Run executes the audit, writing its report to w. It is exported so the
+// smoke tests can drive the whole flow in-process.
+func Run(w io.Writer) error {
 	servers, err := crashresist.Servers()
 	if err != nil {
 		return err
 	}
 
-	var reports []*crashresist.SyscallReport
 	for _, srv := range servers {
-		fmt.Printf("auditing %s ...\n", srv.Name)
-		rep, err := crashresist.AnalyzeServer(srv, 42)
-		if err != nil {
-			return fmt.Errorf("audit %s: %w", srv.Name, err)
-		}
-		reports = append(reports, rep)
+		fmt.Fprintf(w, "auditing %s ...\n", srv.Name)
+	}
+	// All five pipelines fan out across the worker pool; reports come
+	// back in server order regardless of scheduling.
+	reports, err := crashresist.AnalyzeServers(servers, 42)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
 	}
 
-	fmt.Println()
-	fmt.Println(crashresist.FormatTableI(reports))
+	fmt.Fprintln(w, )
+	fmt.Fprintln(w, crashresist.FormatTableI(reports))
 
-	fmt.Println("per-server detail:")
+	fmt.Fprintln(w, "per-server detail:")
 	for _, rep := range reports {
-		fmt.Printf("\n%s:\n", rep.Server)
-		fmt.Printf("  usable primitives: %v\n", rep.Usable())
-		fmt.Printf("  observed-only syscalls: %v\n", rep.ObservedOnly)
+		fmt.Fprintf(w, "\n%s:\n", rep.Server)
+		fmt.Fprintf(w, "  usable primitives: %v\n", rep.Usable())
+		fmt.Fprintf(w, "  observed-only syscalls: %v\n", rep.ObservedOnly)
 		for _, f := range rep.Findings {
 			if f.Status == crashresist.StatusFalsePositive {
-				fmt.Printf("  FALSE POSITIVE: %s — %s\n", f.Syscall, f.Detail)
+				fmt.Fprintf(w, "  FALSE POSITIVE: %s — %s\n", f.Syscall, f.Detail)
 			}
 		}
 	}
@@ -55,6 +59,6 @@ func run() error {
 	for _, rep := range reports {
 		total += len(rep.Usable())
 	}
-	fmt.Printf("\ntotal usable crash-resistant primitives across servers: %d\n", total)
+	fmt.Fprintf(w, "\ntotal usable crash-resistant primitives across servers: %d\n", total)
 	return nil
 }

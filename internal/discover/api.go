@@ -85,38 +85,63 @@ type APIAnalyzer struct {
 	Seed int64
 	// InvalidAddr overrides the corruption value.
 	InvalidAddr uint64
+	// Workers bounds the fuzzing and classification fan-out; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
-// controllability classification.
+// controllability classification. The fuzzing battery fans out across the
+// worker pool one descriptor per job (each probe already runs in its own
+// single-shot harness process), and the final controllability stage fans
+// out per JS-context API (each replay builds its own environment). Both
+// stages write into index-addressed slices, keeping the funnel
+// byte-identical for any worker count.
 func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 	invalid := a.InvalidAddr
 	if invalid == 0 {
 		invalid = InvalidProbeAddr
 	}
 
-	// Stage 1-3: black-box fuzzing of the API corpus.
+	// Stage 1-3: black-box fuzzing of the API corpus, sharded per
+	// descriptor in registry order.
 	reg, err := winapi.GenerateCorpus(br.Params.API)
 	if err != nil {
 		return nil, err
 	}
 	fz := fuzz.New(reg, a.Seed)
-	sum, err := fz.FuzzAll()
+	var ptrAPIs []*winapi.Descriptor
+	for _, d := range reg.All() {
+		if d.HasPointerArg() {
+			ptrAPIs = append(ptrAPIs, d)
+		}
+	}
+	results := make([]fuzz.FuncResult, len(ptrAPIs))
+	err = runIndexed(a.Workers, len(ptrAPIs), func(i int) error {
+		res, err := fz.FuzzOne(ptrAPIs[i])
+		if err != nil {
+			return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz corpus: %w", err)
 	}
 	resistant := make(map[string]bool)
-	for _, res := range sum.Results {
+	crashResistant := 0
+	for _, res := range results {
 		if res.CrashResistant {
 			resistant[res.Name] = true
+			crashResistant++
 		}
 	}
 
 	report := &APIFunnelReport{
 		Browser:        br.Name,
-		Total:          sum.Total,
-		WithPointer:    sum.WithPointer,
-		CrashResistant: sum.CrashResistant,
+		Total:          reg.Len(),
+		WithPointer:    len(ptrAPIs),
+		CrashResistant: crashResistant,
 	}
 
 	// Stage 4-5: instrumented browse — call-site harvesting and context
@@ -138,13 +163,22 @@ func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 	report.OnPath = len(report.OnPathAPIs)
 	report.JSContext = len(report.JSContextAPIs)
 
-	// Stage 6: pointer-argument controllability for the JS-context set.
-	for _, api := range report.JSContextAPIs {
+	// Stage 6: pointer-argument controllability for the JS-context set,
+	// one corrupted-replay environment per API.
+	report.Classifications = make([]APIClassification, len(report.JSContextAPIs))
+	err = runIndexed(a.Workers, len(report.JSContextAPIs), func(i int) error {
+		api := report.JSContextAPIs[i]
 		cls, err := a.classify(br, api, obs.args[api], invalid)
 		if err != nil {
-			return nil, fmt.Errorf("classify %s: %w", api, err)
+			return fmt.Errorf("classify %s: %w", api, err)
 		}
-		report.Classifications = append(report.Classifications, cls)
+		report.Classifications[i] = cls
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range report.Classifications {
 		if cls.Reason == ReasonControllable {
 			report.Controllable++
 		}

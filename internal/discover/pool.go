@@ -1,0 +1,128 @@
+package discover
+
+// Bounded worker pool shared by the three discovery pipelines.
+//
+// All fan-out in this package goes through runIndexed / runSharded so that
+// parallel runs stay byte-identical to sequential ones: jobs are numbered,
+// every worker writes its result into the slot owned by its job index, and
+// the caller merges the index-addressed slice in order afterwards. Nothing
+// is ever appended under a lock, so scheduling order cannot leak into
+// report contents.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolWorkers resolves a worker-count setting: values <= 0 select
+// GOMAXPROCS, everything else is used as-is.
+func poolWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// runIndexed runs fn(0) .. fn(n-1) on up to workers goroutines. Workers
+// pull job indices from a shared atomic counter; each job's error lands in
+// its own slot and the lowest-index error is returned, so the reported
+// failure is independent of scheduling. With one worker the jobs run on
+// the calling goroutine.
+func runIndexed(workers, n int, fn func(i int) error) error {
+	workers = poolWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// runSharded is runIndexed for jobs that need per-worker state (a private
+// VM environment, a private symbolic executor). newState runs once per
+// worker, up-front on the calling goroutine so construction order is
+// deterministic; fn receives the state of whichever worker claimed the
+// job. States never travel between goroutines after handoff.
+func runSharded[S any](workers, n int, newState func() (S, error), fn func(s S, i int) error) error {
+	workers = poolWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 {
+		s, err := newState()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := fn(s, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	states := make([]S, workers)
+	for w := range states {
+		s, err := newState()
+		if err != nil {
+			return err
+		}
+		states[w] = s
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s S) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(s, i)
+			}
+		}(states[w])
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,11 +77,30 @@ func (r *SEHReport) Row(module string) (ModuleSEH, bool) {
 // SEHAnalyzer drives the exception-handler pipeline against a browser.
 type SEHAnalyzer struct {
 	Seed int64
+	// Workers bounds the per-DLL fan-out; <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// CacheStats holds the symex cache counters of the last Analyze call.
+	CacheStats sym.CacheStats
+}
+
+// sehModuleResult is one DLL's contribution, produced by a worker and
+// merged in module load order so the report is scheduling-independent.
+type sehModuleResult struct {
+	row      ModuleSEH
+	hasRow   bool
+	cands    []SEHCandidate
+	unknown  bool
+	triggers uint64
 }
 
 // Analyze extracts every module's scope table, symbolically executes each
 // unique filter, runs an instrumented browse to collect coverage, and
-// cross-references the two.
+// cross-references the two. The per-DLL analysis fans out across a worker
+// pool; every worker owns a private process environment and symbolic
+// executor, sharing only the read-only coverage map and the memoizing
+// filter cache. Results land in an index-addressed slice keyed by module
+// load order, so the report is byte-identical for any worker count.
 func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
@@ -101,64 +120,53 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 
 	report := &SEHReport{Browser: br.Name, VEHRegistered: len(env.Proc.VEHandlers())}
 	report.VEHFindings = VEHScan(env.Proc)
-	exec := sym.NewExecutor(env.Proc)
 
+	// The paper's per-DLL analysis covers libraries; the executable
+	// itself carries no scope tables here.
+	var libs []string
 	for _, mod := range env.Proc.Modules() {
-		if mod.Image.Kind != bin.KindLibrary {
-			// The paper's per-DLL analysis covers libraries; the
-			// executable itself carries no scope tables here.
+		if mod.Image.Kind == bin.KindLibrary {
+			libs = append(libs, mod.Image.Name)
+		}
+	}
+	report.TotalModules = len(libs)
+
+	cache := sym.NewCache()
+	results := make([]sehModuleResult, len(libs))
+	err = runSharded(a.Workers, len(libs),
+		func() (*sym.Executor, error) {
+			wenv, err := br.NewEnv(a.Seed)
+			if err != nil {
+				return nil, err
+			}
+			exec := sym.NewExecutor(wenv.Proc)
+			exec.Cache = cache
+			return exec, nil
+		},
+		func(exec *sym.Executor, i int) error {
+			mod, ok := exec.Proc().Module(libs[i])
+			if !ok {
+				return fmt.Errorf("module %s missing from worker environment", libs[i])
+			}
+			results[i] = analyzeModuleSEH(exec, mod, hits)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	a.CacheStats = cache.Stats()
+
+	for _, res := range results {
+		if !res.hasRow {
 			continue
 		}
-		report.TotalModules++
-		inv := seh.Extract(mod)
-		if len(inv.Handlers) == 0 {
-			// Analyzed, but nothing to report.
-			continue
-		}
-
-		// Classify each unique filter once.
-		verdicts := make(map[uint32]sym.Verdict, len(inv.Filters))
-		row := ModuleSEH{Module: mod.Image.Name, Handlers: len(inv.Handlers), Filters: len(inv.Filters)}
-		for _, f := range inv.Filters {
-			rep := exec.AnalyzeFilter(mod.VA(f))
-			verdicts[f] = rep.Verdict
-			switch rep.Verdict {
-			case sym.VerdictAccepts:
-				row.AVFilters++
-			case sym.VerdictUnknown:
-				row.UnknownFilters++
-			}
-		}
-
-		for _, h := range inv.Handlers {
-			accepting := false
-			if h.IsCatchAll() {
-				row.CatchAll++
-				accepting = true
-			} else if verdicts[h.Entry.Filter] == sym.VerdictAccepts {
-				accepting = true
-			}
-			if !accepting {
-				continue
-			}
-			row.AVHandlers++
-			key := trace.ScopeKey{Module: mod.Image.Name, Index: h.Index}
-			if n := hits[key]; n > 0 {
-				row.OnPath++
-				report.TriggerEvents += n
-				report.Candidates = append(report.Candidates, SEHCandidate{
-					Module:   mod.Image.Name,
-					Scope:    h.Index,
-					FuncName: h.FuncName,
-					CatchAll: h.IsCatchAll(),
-					Hits:     n,
-				})
-			}
-		}
-		if row.UnknownFilters > 0 {
-			report.UnknownFilterModules = append(report.UnknownFilterModules, mod.Image.Name)
-		}
+		row := res.row
 		report.Modules = append(report.Modules, row)
+		report.Candidates = append(report.Candidates, res.cands...)
+		report.TriggerEvents += res.triggers
+		if res.unknown {
+			report.UnknownFilterModules = append(report.UnknownFilterModules, row.Module)
+		}
 		report.TotalHandlers += row.Handlers
 		report.TotalFilters += row.Filters
 		report.TotalAVFilters += row.AVFilters
@@ -174,6 +182,60 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 	})
 	sort.Strings(report.UnknownFilterModules)
 	return report, nil
+}
+
+// analyzeModuleSEH runs the scope-table + symbolic-execution analysis for
+// one module. It reads only the module, the (frozen) coverage map and the
+// executor's own process, so module jobs are independent.
+func analyzeModuleSEH(exec *sym.Executor, mod *bin.Module, hits map[trace.ScopeKey]uint64) sehModuleResult {
+	inv := seh.Extract(mod)
+	if len(inv.Handlers) == 0 {
+		// Analyzed, but nothing to report.
+		return sehModuleResult{}
+	}
+
+	// Classify each unique filter once.
+	verdicts := make(map[uint32]sym.Verdict, len(inv.Filters))
+	res := sehModuleResult{hasRow: true}
+	res.row = ModuleSEH{Module: mod.Image.Name, Handlers: len(inv.Handlers), Filters: len(inv.Filters)}
+	for _, f := range inv.Filters {
+		rep := exec.AnalyzeFilterIn(mod, f)
+		verdicts[f] = rep.Verdict
+		switch rep.Verdict {
+		case sym.VerdictAccepts:
+			res.row.AVFilters++
+		case sym.VerdictUnknown:
+			res.row.UnknownFilters++
+		}
+	}
+
+	for _, h := range inv.Handlers {
+		accepting := false
+		if h.IsCatchAll() {
+			res.row.CatchAll++
+			accepting = true
+		} else if verdicts[h.Entry.Filter] == sym.VerdictAccepts {
+			accepting = true
+		}
+		if !accepting {
+			continue
+		}
+		res.row.AVHandlers++
+		key := trace.ScopeKey{Module: mod.Image.Name, Index: h.Index}
+		if n := hits[key]; n > 0 {
+			res.row.OnPath++
+			res.triggers += n
+			res.cands = append(res.cands, SEHCandidate{
+				Module:   mod.Image.Name,
+				Scope:    h.Index,
+				FuncName: h.FuncName,
+				CatchAll: h.IsCatchAll(),
+				Hits:     n,
+			})
+		}
+	}
+	res.unknown = res.row.UnknownFilters > 0
+	return res
 }
 
 // PriorWorkFindings reproduces §VII-A: whether the pipeline rediscovers the

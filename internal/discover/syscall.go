@@ -149,9 +149,35 @@ type SyscallAnalyzer struct {
 	// InvalidAddr overrides the corruption value (default
 	// InvalidProbeAddr).
 	InvalidAddr uint64
+	// Workers bounds the fan-out of AnalyzeAll (per server) and of the
+	// validation replays within one Analyze (per candidate); <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// AnalyzeAll runs the pipeline for every server, fanning the servers out
+// across the worker pool. Reports are returned in input order and each is
+// identical to what a standalone Analyze(srv) would produce.
+func (a *SyscallAnalyzer) AnalyzeAll(servers []*targets.Server) ([]*SyscallReport, error) {
+	reports := make([]*SyscallReport, len(servers))
+	err := runIndexed(a.Workers, len(servers), func(i int) error {
+		rep, err := a.Analyze(servers[i])
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
 }
 
 // Analyze runs observation plus per-candidate validation for one server.
+// Validation replays are independent (each builds a fresh corrupted
+// environment), so they fan out across the worker pool; findings land in
+// candidate order and statuses merge sequentially afterwards.
 func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
 	invalid := a.InvalidAddr
 	if invalid == 0 {
@@ -178,14 +204,22 @@ func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
 		}
 	}
 
-	for _, cand := range candidates {
-		finding, err := a.validate(srv, cand, invalid)
+	findings := make([]Finding, len(candidates))
+	err = runIndexed(a.Workers, len(candidates), func(i int) error {
+		finding, err := a.validate(srv, candidates[i], invalid)
 		if err != nil {
-			return nil, fmt.Errorf("validate %s/%s: %w", srv.Name, cand.Syscall, err)
+			return fmt.Errorf("validate %s/%s: %w", srv.Name, candidates[i].Syscall, err)
 		}
+		findings[i] = finding
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, finding := range findings {
 		report.Findings = append(report.Findings, finding)
-		if finding.Status > report.Status[cand.Syscall] {
-			report.Status[cand.Syscall] = finding.Status
+		if finding.Status > report.Status[finding.Syscall] {
+			report.Status[finding.Syscall] = finding.Status
 		}
 	}
 

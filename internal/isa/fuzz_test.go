@@ -1,0 +1,44 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRoundTrip feeds arbitrary bytes to the decoder and checks the
+// canonical-encoding contract: whatever Decode accepts, Encode must
+// reproduce byte-exactly, and re-decoding the encoding must yield the same
+// instruction. Neither direction may panic on any input.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	// Seed with one encoding of every opcode so the fuzzer starts from
+	// the full layout space rather than rediscovering it.
+	for op := OpNop; op < opMax; op++ {
+		ins := Instruction{Op: op, A: R1, B: R2, Imm: 0x1122334455667788, Disp: -16}
+		if enc, err := Encode(nil, ins); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := Encode(nil, ins)
+		if err != nil {
+			t.Fatalf("decoded %v from %x but Encode rejects it: %v", ins, data[:n], err)
+		}
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("round trip not byte-exact: decoded %v from %x, re-encoded to %x", ins, data[:n], enc)
+		}
+		ins2, n2, err := Decode(enc)
+		if err != nil || n2 != n || ins2 != ins {
+			t.Fatalf("re-decode mismatch: %v/%d/%v, want %v/%d", ins2, n2, err, ins, n)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file cross-checks the bounded solver against exhaustive brute force,
+// pinning the completeness claim of DESIGN.md §5: the solver is *complete*
+// for the filter-idiom constraint family — boolean combinations of
+// (optionally mask-projected) single-symbol comparisons against constants —
+// and *sound* everywhere (a Sat verdict always carries a model that
+// evaluates true). Outside the family, Unsat may be wrong and Unknown is
+// acceptable; TestSolverCompletenessBoundary documents that edge.
+
+// domainBits bounds the brute-force search: every symbol ranges over
+// [0, 2^domainBits).
+const domainBits = 8
+
+// genFamilyExpr builds a random constraint from the filter-idiom family
+// over the given symbols: atoms are cmp(sym, const) or
+// cmp(sym & mask, const), composed with And/Or (boolean combination) up to
+// the given depth. Constants stay inside the 8-bit brute-force domain so
+// brute force can actually witness satisfying assignments.
+func genFamilyExpr(rng *rand.Rand, syms []*Expr, depth int) *Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		s := syms[rng.Intn(len(syms))]
+		lhs := s
+		if rng.Intn(2) == 0 {
+			lhs = Bin(OpAnd, s, Const(uint64(rng.Intn(1<<domainBits))))
+		}
+		cmps := []Op{OpEq, OpNe, OpUlt, OpUle, OpSlt, OpSle}
+		return Bin(cmps[rng.Intn(len(cmps))], lhs, Const(uint64(rng.Intn(1<<domainBits))))
+	}
+	composite := []Op{OpAnd, OpOr}
+	a := genFamilyExpr(rng, syms, depth-1)
+	b := genFamilyExpr(rng, syms, depth-1)
+	return Bin(composite[rng.Intn(len(composite))], a, b)
+}
+
+// bruteForce exhaustively searches the 8-bit domain for an assignment
+// satisfying every constraint (all constraints nonzero).
+func bruteForce(constraints []*Expr, names []string) (map[string]uint64, bool) {
+	model := make(map[string]uint64, len(names))
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == len(names) {
+			for _, c := range constraints {
+				if c.Eval(model) == 0 {
+					return false
+				}
+			}
+			return true
+		}
+		for v := uint64(0); v < 1<<domainBits; v++ {
+			model[names[i]] = v
+			if walk(i + 1) {
+				return true
+			}
+		}
+		delete(model, names[i])
+		return false
+	}
+	return model, walk(0)
+}
+
+// collectNames gathers the distinct symbols across a constraint set.
+func collectNames(constraints []*Expr) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, c := range constraints {
+		for _, n := range c.Symbols() {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// TestSolverMatchesBruteForce generates seeded random in-family constraint
+// DAGs over one and two symbols and requires verdict agreement with
+// exhaustive 8-bit search: brute-force-Sat must be solver-Sat (with a
+// model brute force validates), brute-force-Unsat must be solver-Unsat.
+// Unknown is a completeness failure inside the family.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	syms := []*Expr{Sym("a"), Sym("b")}
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		nsyms := 1 + trial%2
+		nconstraints := 1 + rng.Intn(3)
+		depth := rng.Intn(3)
+		constraints := make([]*Expr, nconstraints)
+		for i := range constraints {
+			constraints[i] = genFamilyExpr(rng, syms[:nsyms], depth)
+		}
+		names := collectNames(constraints)
+		// Pin every symbol into the brute-force domain with an in-family
+		// atom; without this, signed comparisons admit 64-bit witnesses
+		// (e.g. slt a 0) that exhaustive 8-bit search cannot see, and the
+		// two searchers would disagree about the universe, not the
+		// constraint.
+		for _, n := range names {
+			constraints = append(constraints, Bin(OpUlt, Sym(n), Const(1<<domainBits)))
+		}
+
+		_, bfSat := bruteForce(constraints, names)
+		model, res := Solve(constraints)
+
+		switch res {
+		case Sat:
+			if !bfSat {
+				t.Fatalf("trial %d: solver Sat but domain has no witness: %s",
+					trial, describe(constraints))
+			}
+			for _, c := range constraints {
+				if c.Eval(model) == 0 {
+					t.Fatalf("trial %d: Sat model %v does not satisfy %s (soundness)",
+						trial, model, c)
+				}
+			}
+		case Unsat:
+			if bfSat {
+				t.Fatalf("trial %d: solver Unsat but a witness exists: %s",
+					trial, describe(constraints))
+			}
+		case Unknown:
+			t.Fatalf("trial %d: Unknown inside the complete family: %s",
+				trial, describe(constraints))
+		}
+	}
+}
+
+// TestSolverSatAlwaysSound checks soundness on a wider, not-necessarily-
+// in-family mix: whenever the solver answers Sat, its model must evaluate
+// every constraint true. (Completeness is not required here.)
+func TestSolverSatAlwaysSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBEEF))
+	a, b := Sym("a"), Sym("b")
+	arith := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+	for trial := 0; trial < 300; trial++ {
+		lhs := Bin(arith[rng.Intn(len(arith))], a, b)
+		if rng.Intn(2) == 0 {
+			lhs = Bin(arith[rng.Intn(len(arith))], lhs, Const(uint64(rng.Intn(256))))
+		}
+		c := Bin([]Op{OpEq, OpNe, OpUlt, OpUle}[rng.Intn(4)], lhs, Const(uint64(rng.Intn(256))))
+		model, res := Solve([]*Expr{c})
+		if res == Sat && c.Eval(model) == 0 {
+			t.Fatalf("trial %d: Sat model %v does not satisfy %s", trial, model, c)
+		}
+	}
+}
+
+// TestSolverCompletenessBoundary documents where the bounded solver's
+// completeness ends: a constraint whose witnesses lie outside the
+// constant-neighbourhood candidate set — here a*a == 16, in-domain
+// witnesses a ∈ {4, 252}, neither adjacent to the constant 16 nor a
+// masked-atom combination — may be reported Unsat or Unknown even though
+// brute force finds a model. This is the documented trade-off: exception
+// filters never leave the comparison/mask family, so the bound never
+// bites in the pipelines; anything that might is surfaced as Unknown →
+// "needs manual vetting" (README "Caveats").
+func TestSolverCompletenessBoundary(t *testing.T) {
+	a := Sym("a")
+	c := Bin(OpEq, Bin(OpMul, a, a), Const(16))
+
+	if _, ok := bruteForce([]*Expr{c}, []string{"a"}); !ok {
+		t.Fatal("brute force must find a*a==16 satisfiable (a=4)")
+	}
+	model, res := Solve([]*Expr{c})
+	switch res {
+	case Sat:
+		// If the candidate heuristics ever grow strong enough to solve
+		// this, the model must still be sound — and this test should be
+		// updated to a harder boundary case.
+		if c.Eval(model) == 0 {
+			t.Fatalf("Sat model %v does not satisfy %s", model, c)
+		}
+		t.Logf("boundary case now solved; candidate heuristics improved")
+	case Unsat, Unknown:
+		// Expected: the witness escapes the bounded candidate set. The
+		// pipelines treat this verdict as "needs manual vetting".
+	}
+}
+
+func describe(constraints []*Expr) string {
+	s := ""
+	for i, c := range constraints {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += fmt.Sprint(c)
+	}
+	return s
+}

@@ -100,12 +100,28 @@ type Report struct {
 // Executor analyzes filters inside a loaded process image.
 type Executor struct {
 	proc *vm.Process
+
+	// Cache, when non-nil, memoizes AnalyzeFilterIn results by filter
+	// body. It may be shared with other executors.
+	Cache *Cache
+
+	// Purity tracking for the cache: while tracking, any dependence on
+	// state outside [trackLo, trackHi) clears pure (see Cache).
+	tracking bool
+	trackLo  uint64
+	trackHi  uint64
+	pure     bool
 }
 
 // NewExecutor creates an executor bound to a process (for module lookup and
 // concrete global reads).
 func NewExecutor(p *vm.Process) *Executor {
 	return &Executor{proc: p}
+}
+
+// Proc returns the process the executor is bound to.
+func (e *Executor) Proc() *vm.Process {
+	return e.proc
 }
 
 type cmpState struct {
@@ -243,6 +259,9 @@ func (e *Executor) runPath(st *state, rep *Report, work *[]*state) {
 
 // fetch decodes the instruction at a concrete PC from process memory.
 func (e *Executor) fetch(pc uint64) (isa.Instruction, int, error) {
+	if e.tracking && (pc < e.trackLo || pc >= e.trackHi) {
+		e.pure = false
+	}
 	var buf [10]byte
 	code, err := e.proc.AS.FetchExec(pc, len(buf), buf[:0])
 	if err != nil {
@@ -267,6 +286,9 @@ func (e *Executor) execSym(st *state, ins isa.Instruction, next uint64, work *[]
 		// Code imports (cross-module calls) are ordinary code and can
 		// be inlined; native platform APIs cannot be modelled and
 		// escape to "unknown" — the paper's manual-vetting bucket.
+		// Either way the outcome depends on the module's import table,
+		// not just the filter body.
+		e.pure = false
 		mod, ok := e.proc.FindModule(st.pc)
 		if !ok || int(ins.Disp) < 0 || int(ins.Disp) >= len(mod.ImportAddrs) {
 			return false, true, "filter calls through unresolvable import slot"
@@ -336,6 +358,8 @@ func (e *Executor) execSym(st *state, ins isa.Instruction, next uint64, work *[]
 		st.regs[ins.A] = solver.Const(ins.Imm)
 		st.pc = next
 	case isa.OpLea:
+		// Materializes an absolute VA, which shifts with the module base.
+		e.pure = false
 		st.regs[ins.A] = solver.Const(next + uint64(int64(ins.Disp)))
 		st.pc = next
 	case isa.OpNot:
@@ -458,6 +482,9 @@ func (e *Executor) loadByte(st *state, addr uint64) (*solver.Expr, bool) {
 	}
 	// Concrete memory.
 	if b, err := e.proc.AS.ReadUint(addr, 1); err == nil {
+		if e.tracking && (addr < e.trackLo || addr >= e.trackHi) {
+			e.pure = false
+		}
 		return solver.Const(b), true
 	}
 	// Virtual stack: untouched slots are unconstrained.

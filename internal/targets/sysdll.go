@@ -3,6 +3,9 @@ package targets
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"crashresist/internal/asm"
 	"crashresist/internal/bin"
@@ -159,22 +162,49 @@ func (p *CorpusPlan) Totals() (handlers, filters, avFilters, avHandlers, onPath 
 	return handlers, filters, avFilters, avHandlers, onPath
 }
 
-// BuildSysDLLs generates the corpus images plus the plan.
+// BuildSysDLLs generates the corpus images plus the plan. DLLs are
+// assembled in parallel: each gets a private RNG derived from the corpus
+// seed and its index, so the generated bytes are a pure function of
+// (params, index) and independent of scheduling; results land in
+// index-addressed slices and are concatenated in spec order.
 func BuildSysDLLs(params CorpusParams) ([]*bin.Image, *CorpusPlan, error) {
 	specs, err := expandSpecs(params)
 	if err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(params.Seed))
 	plan := &CorpusPlan{Specs: specs}
-	images := make([]*bin.Image, 0, len(specs))
-	for _, spec := range specs {
-		img, sites, err := buildDLL(spec, rng, params.Extend[spec.Name])
+	images := make([]*bin.Image, len(specs))
+	sites := make([][]SitePlan, len(specs))
+	errs := make([]error, len(specs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				rng := rand.New(rand.NewSource(params.Seed + int64(i)*0x9e3779b9))
+				images[i], sites[i], errs[i] = buildDLL(specs[i], rng, params.Extend[specs[i].Name])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		images = append(images, img)
-		plan.Sites = append(plan.Sites, sites...)
+	}
+	for _, s := range sites {
+		plan.Sites = append(plan.Sites, s...)
 	}
 	return images, plan, nil
 }
