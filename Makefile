@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: test race fuzz-short bench golden-update
+.PHONY: ci test race fuzz-short bench golden-update
+
+# ci is the full gate run by .github/workflows/ci.yml.
+ci:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
 
 test:
 	$(GO) build ./...

@@ -4,9 +4,12 @@
 //	crdiscover -target nginx                 # syscall pipeline
 //	crdiscover -target ie -pipeline api      # §V-B funnel
 //	crdiscover -target firefox -pipeline seh # Tables II/III inventory
+//	crdiscover -target nginx -format json    # machine-readable report
+//	crdiscover -target ie -metrics           # run stats on stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,13 +26,21 @@ func main() {
 
 func run() error {
 	var (
-		target   = flag.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
-		pipeline = flag.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		scale    = flag.String("scale", "small", "browser corpus scale: paper or small")
-		seed     = flag.Int64("seed", 42, "analysis seed")
-		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		target      = flag.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
+		pipeline    = flag.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
+		scale       = flag.String("scale", "small", "browser corpus scale: paper or small")
+		seed        = flag.Int64("seed", 42, "analysis seed")
+		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		format      = flag.String("format", "text", "output format: text or json")
+		showMetrics = flag.Bool("metrics", false, "print run stats to stderr")
 	)
 	flag.Parse()
+
+	switch *format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, *format)
+	}
 
 	isBrowser := *target == "ie" || *target == "firefox"
 	pl := *pipeline
@@ -43,9 +54,9 @@ func run() error {
 
 	if !isBrowser {
 		if pl != "syscall" {
-			return fmt.Errorf("pipeline %q needs a browser target", pl)
+			return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 		}
-		return runServer(*target, *seed, *workers)
+		return runServer(*target, *seed, *workers, *format, *showMetrics)
 	}
 
 	params := crashresist.SmallBrowserParams()
@@ -71,12 +82,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		emitMetrics(rep.Stats, *showMetrics)
+		if *format == "json" {
+			return printJSON(rep)
+		}
 		fmt.Println(crashresist.FormatFunnel(rep))
 		return nil
 	case "seh":
 		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, crashresist.WithWorkers(*workers))
 		if err != nil {
 			return err
+		}
+		emitMetrics(rep.Stats, *showMetrics)
+		if *format == "json" {
+			return printJSON(rep)
 		}
 		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
 		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
@@ -103,11 +122,11 @@ func run() error {
 			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
 		return nil
 	default:
-		return fmt.Errorf("unknown pipeline %q", pl)
+		return fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
 	}
 }
 
-func runServer(name string, seed int64, workers int) error {
+func runServer(name string, seed int64, workers int, format string, showMetrics bool) error {
 	srv, err := crashresist.Server(name)
 	if err != nil {
 		return err
@@ -115,6 +134,10 @@ func runServer(name string, seed int64, workers int) error {
 	rep, err := crashresist.AnalyzeServer(srv, seed, crashresist.WithWorkers(workers))
 	if err != nil {
 		return err
+	}
+	emitMetrics(rep.Stats, showMetrics)
+	if format == "json" {
+		return printJSON(rep)
 	}
 	fmt.Printf("syscall pipeline report for %s\n\n", rep.Server)
 	fmt.Printf("%-12s %-18s\n", "syscall", "status")
@@ -128,4 +151,18 @@ func runServer(name string, seed int64, workers int) error {
 	}
 	fmt.Printf("\nusable crash-resistant primitives: %v\n", rep.Usable())
 	return nil
+}
+
+// printJSON writes an indented JSON report to stdout.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// emitMetrics writes run stats to stderr when requested.
+func emitMetrics(st *crashresist.RunStats, show bool) {
+	if show && st != nil {
+		fmt.Fprint(os.Stderr, st.Format())
+	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+
+	"crashresist"
+)
+
+func TestEmitErrorSentinels(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+		want error
+	}{
+		{"unknown table", config{table: "9", scale: "small", format: "text"}, crashresist.ErrUnknownTable},
+		{"unknown scale", config{table: "1", scale: "huge", format: "text"}, crashresist.ErrBadParams},
+		{"unknown format", config{table: "1", scale: "small", format: "xml"}, crashresist.ErrBadParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := emit(io.Discard, tc.cfg)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("emit(%+v) = %v, want %v", tc.cfg, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEmitJSON checks the machine-readable rendering: the funnel artifact
+// decodes into the document shape and carries its run stats.
+func TestEmitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{table: "funnel", scale: "small", format: "json", seed: goldenSeed, workers: 2}
+	if err := emit(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Funnel == nil {
+		t.Fatal("document missing funnel artifact")
+	}
+	if doc.TableI != nil || doc.SEH != nil || doc.Prior != nil || doc.Rate != nil {
+		t.Error("unrequested artifacts present in document")
+	}
+	if doc.Funnel.Stats == nil || doc.Funnel.Stats.Pipeline != "api" {
+		t.Errorf("funnel stats = %+v, want api pipeline record", doc.Funnel.Stats)
+	}
+	if doc.Funnel.Stats.Counter(crashresist.CtrProbes) == 0 {
+		t.Error("no fuzzing probes counted")
+	}
+}

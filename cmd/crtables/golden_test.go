@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,10 +20,21 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // golden file.
 const goldenSeed = 42
 
+// emitString renders one artifact with metrics collection enabled (routed
+// to a discarded stream), so the goldens prove the observability layer
+// never leaks into table bytes.
 func emitString(t *testing.T, table string, workers int) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := emit(&buf, table, "paper", goldenSeed, workers); err != nil {
+	cfg := config{
+		table:    table,
+		scale:    "paper",
+		format:   "text",
+		seed:     goldenSeed,
+		workers:  workers,
+		metricsW: io.Discard,
+	}
+	if err := emit(&buf, cfg); err != nil {
 		t.Fatalf("emit %s (workers=%d): %v", table, workers, err)
 	}
 	return buf.String()

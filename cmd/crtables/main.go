@@ -5,6 +5,8 @@
 //	crtables -table 1              # Table I only
 //	crtables -table funnel -scale small
 //	crtables -table 3 -workers 8   # parallel SEH pipeline
+//	crtables -table all -format json > eval.json
+//	crtables -table 3 -metrics     # run stats on stderr
 //
 // Tables: 1 (syscall candidates), funnel (§V-B API funnel), 2 (guarded code
 // locations), 3 (unique exception filters), prior (§VII-A rediscovery),
@@ -12,9 +14,12 @@
 //
 // Output is deterministic: for a fixed -seed and -scale, every -workers
 // value produces byte-identical tables (see the golden regression tests).
+// Run metrics (-metrics) go to a separate stream precisely so the table
+// bytes stay stable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,193 +30,269 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
-		scale   = flag.String("scale", "paper", "corpus scale: paper or small")
-		seed    = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
-		workers = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		table       = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
+		scale       = flag.String("scale", "paper", "corpus scale: paper or small")
+		seed        = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
+		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		format      = flag.String("format", "text", "output format: text or json")
+		showMetrics = flag.Bool("metrics", false, "print per-run stats to stderr")
 	)
 	flag.Parse()
 
-	if err := emit(os.Stdout, *table, *scale, *seed, *workers); err != nil {
+	cfg := config{
+		table:   *table,
+		scale:   *scale,
+		format:  *format,
+		seed:    *seed,
+		workers: *workers,
+	}
+	if *showMetrics {
+		cfg.metricsW = os.Stderr
+	}
+	if err := emit(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crtables:", err)
 		os.Exit(1)
 	}
 }
 
-// emit writes the selected artifacts to w. It is the whole command behind
-// the flag parsing, so tests can snapshot output byte-for-byte.
-func emit(w io.Writer, table, scale string, seed int64, workers int) error {
+// config selects the artifacts, scale and rendering of one emit call.
+type config struct {
+	table   string
+	scale   string
+	format  string
+	seed    int64
+	workers int
+	// metricsW receives each run's stats as text; nil suppresses them.
+	// Metrics never go to the artifact writer, keeping goldens stable.
+	metricsW io.Writer
+}
+
+// document is the -format=json artifact bundle. Only requested artifacts
+// are present.
+type document struct {
+	TableI []*crashresist.SyscallReport `json:"table1,omitempty"`
+	Funnel *crashresist.APIFunnelReport `json:"funnel,omitempty"`
+	SEH    *crashresist.SEHReport       `json:"seh,omitempty"`
+	Prior  *priorDoc                    `json:"prior,omitempty"`
+	Rate   *rateDoc                     `json:"rate,omitempty"`
+}
+
+// priorDoc bundles the §VII-A rediscovery checks.
+type priorDoc struct {
+	IE      crashresist.PriorWorkFindings `json:"ie"`
+	Firefox crashresist.PriorWorkFindings `json:"firefox"`
+}
+
+// rateDoc is the §VII-C fault-rate experiment result.
+type rateDoc struct {
+	BrowsePeak    uint64 `json:"browse_peak"`
+	AsmPeak       uint64 `json:"asm_peak"`
+	Threshold     uint64 `json:"threshold"`
+	ScanPeak      uint64 `json:"scan_peak"`
+	ScanDetected  bool   `json:"scan_detected"`
+	StealthProbes uint64 `json:"stealth_probes"`
+	StealthTicks  uint64 `json:"stealth_ticks"`
+}
+
+// emit computes the selected artifacts and writes them to w. It is the
+// whole command behind the flag parsing, so tests can snapshot output
+// byte-for-byte.
+func emit(w io.Writer, cfg config) error {
 	var params crashresist.BrowserParams
-	switch scale {
+	switch cfg.scale {
 	case "paper":
 		params = crashresist.PaperBrowserParams()
 	case "small":
 		params = crashresist.SmallBrowserParams()
 	default:
-		return fmt.Errorf("unknown -scale %q (want paper or small)", scale)
+		return fmt.Errorf("%w: unknown -scale %q (want paper or small)", crashresist.ErrBadParams, cfg.scale)
 	}
 
-	switch table {
+	switch cfg.table {
 	case "all", "1", "funnel", "2", "3", "prior", "rate":
 	default:
-		return fmt.Errorf("unknown -table %q (want 1, funnel, 2, 3, prior, rate, or all)", table)
+		return fmt.Errorf("%w %q (want 1, funnel, 2, 3, prior, rate, or all)", crashresist.ErrUnknownTable, cfg.table)
 	}
 
-	want := func(name string) bool { return table == "all" || table == name }
+	switch cfg.format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, cfg.format)
+	}
+
+	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
+	opts := []crashresist.Option{crashresist.WithWorkers(cfg.workers)}
+
+	var doc document
+	var runs []*crashresist.RunStats
 
 	if want("1") {
-		if err := printTableI(w, seed, workers); err != nil {
+		servers, err := crashresist.Servers()
+		if err != nil {
 			return err
+		}
+		reports, err := crashresist.AnalyzeServers(servers, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		doc.TableI = reports
+		for _, rep := range reports {
+			runs = append(runs, rep.Stats)
 		}
 	}
 	if want("funnel") {
-		if err := printFunnel(w, params, seed, workers); err != nil {
+		br, err := crashresist.IE(params)
+		if err != nil {
 			return err
 		}
+		rep, err := crashresist.AnalyzeBrowserAPIs(br, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		doc.Funnel = rep
+		runs = append(runs, rep.Stats)
 	}
 	if want("2") || want("3") {
-		if err := printSEHTables(w, params, seed, workers, want("2"), want("3")); err != nil {
+		br, err := crashresist.IE(params)
+		if err != nil {
 			return err
 		}
+		rep, err := crashresist.AnalyzeBrowserSEH(br, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		doc.SEH = rep
+		runs = append(runs, rep.Stats)
 	}
 	if want("prior") {
-		if err := printPriorWork(w, params, seed, workers); err != nil {
+		ie, err := crashresist.IE(params)
+		if err != nil {
 			return err
 		}
+		ieRep, err := crashresist.AnalyzeBrowserSEH(ie, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		ff, err := crashresist.Firefox(params)
+		if err != nil {
+			return err
+		}
+		ffRep, err := crashresist.AnalyzeBrowserSEH(ff, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		doc.Prior = &priorDoc{IE: crashresist.PriorWork(ieRep), Firefox: crashresist.PriorWork(ffRep)}
+		runs = append(runs, ieRep.Stats, ffRep.Stats)
 	}
 	if want("rate") {
-		if err := printRates(w, params, seed); err != nil {
+		rate, err := computeRates(params, cfg.seed)
+		if err != nil {
 			return err
 		}
+		doc.Rate = rate
+	}
+
+	if cfg.metricsW != nil {
+		for _, st := range runs {
+			fmt.Fprint(cfg.metricsW, st.Format())
+		}
+	}
+
+	if cfg.format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&doc)
+	}
+	return renderText(w, &doc, cfg.table)
+}
+
+// renderText writes the classic table output, byte-identical to the
+// pre-observability command.
+func renderText(w io.Writer, doc *document, table string) error {
+	want := func(name string) bool { return table == "all" || table == name }
+
+	if doc.TableI != nil {
+		fmt.Fprintln(w, crashresist.FormatTableI(doc.TableI))
+		for _, rep := range doc.TableI {
+			fmt.Fprintf(w, "%s usable: %v\n", rep.Server, rep.Usable())
+		}
+		fmt.Fprintln(w)
+	}
+	if doc.Funnel != nil {
+		fmt.Fprintln(w, crashresist.FormatFunnel(doc.Funnel))
+	}
+	if doc.SEH != nil {
+		if want("2") {
+			fmt.Fprintln(w, crashresist.FormatTableII(doc.SEH, crashresist.NamedDLLs()))
+		}
+		if want("3") {
+			fmt.Fprintln(w, crashresist.FormatTableIII(doc.SEH, crashresist.NamedDLLs()))
+		}
+	}
+	if doc.Prior != nil {
+		fmt.Fprintln(w, "§VII-A prior-primitive rediscovery")
+		fmt.Fprintf(w, "  IE MUTX::Enter catch-all found automatically:   %v\n", doc.Prior.IE.IECatchAllFound)
+		fmt.Fprintf(w, "  IE post-update filter needs manual vetting:     %v\n", doc.Prior.IE.IEPostUpdateNeedsManual)
+		fmt.Fprintf(w, "  Firefox runtime VEH invisible to scope tables:  %v\n", doc.Prior.Firefox.FirefoxVEHMissed)
+		fmt.Fprintf(w, "  ... recovered by the registration-scan extension: %v\n", doc.Prior.Firefox.FirefoxVEHFoundByExtension)
+		fmt.Fprintln(w)
+	}
+	if doc.Rate != nil {
+		fmt.Fprintln(w, "§VII-C access-violation rates (peak events per window)")
+		fmt.Fprintf(w, "  normal browsing: %d\n", doc.Rate.BrowsePeak)
+		fmt.Fprintf(w, "  asm.js stress:   %d (bursts, below threshold %d)\n", doc.Rate.AsmPeak, doc.Rate.Threshold)
+		fmt.Fprintf(w, "  scanning attack: %d (detected: %v)\n", doc.Rate.ScanPeak, doc.Rate.ScanDetected)
+		// The closing argument: a detector-evading scan becomes impractical.
+		fmt.Fprintf(w, "  sub-threshold full-arena scan: %d probes ≥ %.1f virtual hours\n",
+			doc.Rate.StealthProbes, float64(doc.Rate.StealthTicks)/(3600*1_000_000))
+		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func printTableI(w io.Writer, seed int64, workers int) error {
-	servers, err := crashresist.Servers()
-	if err != nil {
-		return err
-	}
-	reports, err := crashresist.AnalyzeServers(servers, seed, crashresist.WithWorkers(workers))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, crashresist.FormatTableI(reports))
-	for _, rep := range reports {
-		fmt.Fprintf(w, "%s usable: %v\n", rep.Server, rep.Usable())
-	}
-	fmt.Fprintln(w)
-	return nil
-}
-
-func printFunnel(w io.Writer, params crashresist.BrowserParams, seed int64, workers int) error {
-	br, err := crashresist.IE(params)
-	if err != nil {
-		return err
-	}
-	rep, err := crashresist.AnalyzeBrowserAPIs(br, seed, crashresist.WithWorkers(workers))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, crashresist.FormatFunnel(rep))
-	return nil
-}
-
-func printSEHTables(w io.Writer, params crashresist.BrowserParams, seed int64, workers int, t2, t3 bool) error {
-	br, err := crashresist.IE(params)
-	if err != nil {
-		return err
-	}
-	rep, err := crashresist.AnalyzeBrowserSEH(br, seed, crashresist.WithWorkers(workers))
-	if err != nil {
-		return err
-	}
-	if t2 {
-		fmt.Fprintln(w, crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
-	}
-	if t3 {
-		fmt.Fprintln(w, crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
-	}
-	return nil
-}
-
-func printPriorWork(w io.Writer, params crashresist.BrowserParams, seed int64, workers int) error {
-	ie, err := crashresist.IE(params)
-	if err != nil {
-		return err
-	}
-	ieRep, err := crashresist.AnalyzeBrowserSEH(ie, seed, crashresist.WithWorkers(workers))
-	if err != nil {
-		return err
-	}
-	ff, err := crashresist.Firefox(params)
-	if err != nil {
-		return err
-	}
-	ffRep, err := crashresist.AnalyzeBrowserSEH(ff, seed, crashresist.WithWorkers(workers))
-	if err != nil {
-		return err
-	}
-	iePW := crashresist.PriorWork(ieRep)
-	ffPW := crashresist.PriorWork(ffRep)
-	fmt.Fprintln(w, "§VII-A prior-primitive rediscovery")
-	fmt.Fprintf(w, "  IE MUTX::Enter catch-all found automatically:   %v\n", iePW.IECatchAllFound)
-	fmt.Fprintf(w, "  IE post-update filter needs manual vetting:     %v\n", iePW.IEPostUpdateNeedsManual)
-	fmt.Fprintf(w, "  Firefox runtime VEH invisible to scope tables:  %v\n", ffPW.FirefoxVEHMissed)
-	fmt.Fprintf(w, "  ... recovered by the registration-scan extension: %v\n", ffPW.FirefoxVEHFoundByExtension)
-	fmt.Fprintln(w)
-	return nil
-}
-
-func printRates(w io.Writer, params crashresist.BrowserParams, seed int64) error {
+// computeRates runs the §VII-C fault-rate experiment on Firefox.
+func computeRates(params crashresist.BrowserParams, seed int64) (*rateDoc, error) {
 	br, err := crashresist.Firefox(params)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	env, err := br.NewEnv(seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rec := crashresist.NewExceptionRecorder()
 	rec.Attach(env.Proc)
 	if err := env.Start(); err != nil {
-		return err
+		return nil, err
 	}
 	det := crashresist.DefaultRateDetector()
+	out := &rateDoc{Threshold: det.Threshold}
 
 	if err := env.Browse(); err != nil {
-		return err
+		return nil, err
 	}
-	browsePeak := det.Peak(rec.Exceptions())
+	out.BrowsePeak = det.Peak(rec.Exceptions())
 
 	rec.ResetExceptions()
 	if _, err := env.Call("xul.dll", "asmjs_run", 20); err != nil {
-		return err
+		return nil, err
 	}
-	asmPeak := det.Peak(rec.Exceptions())
+	out.AsmPeak = det.Peak(rec.Exceptions())
 
 	rec.ResetExceptions()
 	o, err := crashresist.NewFirefoxOracle(env)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for i := 0; i < 500; i++ {
 		if _, err := o.Probe(0xdead0000 + uint64(i)*0x1000); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	scanPeak := det.Peak(rec.Exceptions())
+	out.ScanPeak = det.Peak(rec.Exceptions())
+	out.ScanDetected = det.Detect(rec.Exceptions())
 
-	fmt.Fprintln(w, "§VII-C access-violation rates (peak events per window)")
-	fmt.Fprintf(w, "  normal browsing: %d\n", browsePeak)
-	fmt.Fprintf(w, "  asm.js stress:   %d (bursts, below threshold %d)\n", asmPeak, det.Threshold)
-	fmt.Fprintf(w, "  scanning attack: %d (detected: %v)\n", scanPeak, det.Detect(rec.Exceptions()))
-
-	// The closing argument: a detector-evading scan becomes impractical.
-	probes := crashresist.ProbesToCover(1<<43, 8<<20)
-	ticks := det.StealthScanTicks(probes)
-	fmt.Fprintf(w, "  sub-threshold full-arena scan: %d probes ≥ %.1f virtual hours\n",
-		probes, float64(ticks)/(3600*1_000_000))
-	fmt.Fprintln(w)
-	return nil
+	out.StealthProbes = crashresist.ProbesToCover(1<<43, 8<<20)
+	out.StealthTicks = det.StealthScanTicks(out.StealthProbes)
+	return out, nil
 }

@@ -30,13 +30,32 @@
 package crashresist
 
 import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
 	"crashresist/internal/defense"
 	"crashresist/internal/discover"
+	"crashresist/internal/metrics"
 	"crashresist/internal/oracle"
 	"crashresist/internal/targets"
 	"crashresist/internal/trace"
 	"crashresist/internal/vm"
 	"crashresist/internal/winapi"
+)
+
+// Typed sentinel errors, matchable with errors.Is.
+var (
+	// ErrUnknownServer is returned (wrapped) by Server for names outside
+	// the Table I set.
+	ErrUnknownServer = targets.ErrUnknownServer
+	// ErrUnknownTable is returned (wrapped) for artifact selectors outside
+	// 1, funnel, 2, 3, prior, rate, all.
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrBadParams is returned (wrapped) for invalid analysis parameters,
+	// e.g. an unrecognized corpus scale.
+	ErrBadParams = errors.New("bad parameters")
 )
 
 // Target construction.
@@ -78,6 +97,62 @@ type (
 	// PriorWorkFindings is the §VII-A verification result.
 	PriorWorkFindings = discover.PriorWorkFindings
 )
+
+// Observability layer (see DESIGN.md §7).
+type (
+	// RunStats is the per-run observability record attached to every
+	// report's Stats field: counter totals, stage spans, wall clock.
+	RunStats = metrics.RunStats
+	// StageStats is one completed stage span inside a RunStats.
+	StageStats = metrics.StageStats
+	// StageEvent is one live progress notification (see WithProgress).
+	StageEvent = metrics.StageEvent
+	// MetricSink receives live stage events and final run snapshots.
+	MetricSink = metrics.Sink
+	// MemorySink retains events and snapshots in memory.
+	MemorySink = metrics.MemorySink
+	// JSONSink writes each run's RunStats as one JSON document.
+	JSONSink = metrics.JSONSink
+	// ExpvarSink publishes counter totals to /debug/vars.
+	ExpvarSink = metrics.ExpvarSink
+	// MetricCounter identifies one run counter (CtrInstructions, ...).
+	MetricCounter = metrics.Counter
+)
+
+// Run counters, usable with RunStats.Counter.
+const (
+	CtrInstructions          = metrics.CtrInstructions
+	CtrFaults                = metrics.CtrFaults
+	CtrFaultsUnmapped        = metrics.CtrFaultsUnmapped
+	CtrFaultsHandled         = metrics.CtrFaultsHandled
+	CtrSyscalls              = metrics.CtrSyscalls
+	CtrEFAULTReturns         = metrics.CtrEFAULTReturns
+	CtrAPICalls              = metrics.CtrAPICalls
+	CtrProbes                = metrics.CtrProbes
+	CtrProbesMapped          = metrics.CtrProbesMapped
+	CtrSymexCacheHits        = metrics.CtrSymexCacheHits
+	CtrSymexCacheMisses      = metrics.CtrSymexCacheMisses
+	CtrSymexCacheUncacheable = metrics.CtrSymexCacheUncacheable
+	CtrPoolTasks             = metrics.CtrPoolTasks
+)
+
+// Stage event kinds.
+const (
+	StageBegin    = metrics.StageBegin
+	StageProgress = metrics.StageProgress
+	StageEnd      = metrics.StageEnd
+)
+
+// NewMemorySink returns an empty in-memory metric sink.
+func NewMemorySink() *MemorySink { return metrics.NewMemorySink() }
+
+// NewJSONSink returns a sink writing one RunStats JSON document per
+// completed run to w.
+func NewJSONSink(w io.Writer) *JSONSink { return metrics.NewJSONSink(w) }
+
+// NewExpvarSink publishes (or reuses) the named expvar map and accumulates
+// counter totals into it.
+func NewExpvarSink(name string) *ExpvarSink { return metrics.NewExpvarSink(name) }
 
 // Syscall pipeline statuses (Table I cell legend).
 const (
@@ -143,10 +218,14 @@ func SmallBrowserParams() BrowserParams { return targets.SmallBrowserParams() }
 
 // Option tunes an analysis run. All pipelines are deterministic for a
 // given seed: every option combination yields byte-identical reports.
+// Observability options (WithProgress, WithSink) never change report
+// contents — metrics live only in the report's Stats field.
 type Option func(*options)
 
 type options struct {
-	workers int
+	workers  int
+	progress func(StageEvent)
+	sinks    []MetricSink
 }
 
 // WithWorkers bounds an analysis's worker pool. Values <= 0 (and omitting
@@ -156,43 +235,93 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithProgress installs a live progress callback receiving StageEvents as
+// the pipeline moves through its stages. Invocations are serialized — even
+// when AnalyzeServers interleaves events from parallel per-server runs —
+// so fn needs no locking of its own.
+func WithProgress(fn func(StageEvent)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithSink attaches a metric sink receiving the run's live events and
+// final RunStats. May be given multiple times.
+func WithSink(s MetricSink) Option {
+	return func(o *options) { o.sinks = append(o.sinks, s) }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.progress != nil {
+		// One analysis call may run several collectors concurrently
+		// (AnalyzeServers); serialize the user's callback across them.
+		var mu sync.Mutex
+		fn := o.progress
+		o.progress = func(ev StageEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(ev)
+		}
+	}
 	return o
+}
+
+func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
+	return &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
 }
 
 // AnalyzeServer runs the Linux syscall pipeline against one server target.
 // The seed fixes ASLR across the observation and validation runs.
 func AnalyzeServer(srv *ServerTarget, seed int64, opts ...Option) (*SyscallReport, error) {
-	o := buildOptions(opts)
-	a := &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers}
-	return a.Analyze(srv)
+	return AnalyzeServerContext(context.Background(), srv, seed, opts...)
+}
+
+// AnalyzeServerContext is AnalyzeServer with cancellation: the pipeline
+// checks ctx between stages and before each validation replay, returning
+// ctx.Err() once it is done.
+func AnalyzeServerContext(ctx context.Context, srv *ServerTarget, seed int64, opts ...Option) (*SyscallReport, error) {
+	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeContext(ctx, srv)
 }
 
 // AnalyzeServers runs the Linux syscall pipeline against every server in
 // parallel, returning reports in input order.
 func AnalyzeServers(servers []*ServerTarget, seed int64, opts ...Option) ([]*SyscallReport, error) {
-	o := buildOptions(opts)
-	a := &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers}
-	return a.AnalyzeAll(servers)
+	return AnalyzeServersContext(context.Background(), servers, seed, opts...)
+}
+
+// AnalyzeServersContext is AnalyzeServers with cancellation.
+func AnalyzeServersContext(ctx context.Context, servers []*ServerTarget, seed int64, opts ...Option) ([]*SyscallReport, error) {
+	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeAllContext(ctx, servers)
 }
 
 // AnalyzeBrowserAPIs runs the Windows API pipeline against a browser target.
 func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
+	return AnalyzeBrowserAPIsContext(context.Background(), br, seed, opts...)
+}
+
+// AnalyzeBrowserAPIsContext is AnalyzeBrowserAPIs with cancellation: the
+// pipeline checks ctx between stages and before each fuzzing or
+// classification job.
+func AnalyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
 	o := buildOptions(opts)
-	a := &discover.APIAnalyzer{Seed: seed, Workers: o.workers}
-	return a.Analyze(br)
+	a := &discover.APIAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
+	return a.AnalyzeContext(ctx, br)
 }
 
 // AnalyzeBrowserSEH runs the exception-handler pipeline against a browser
 // target.
 func AnalyzeBrowserSEH(br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
+	return AnalyzeBrowserSEHContext(context.Background(), br, seed, opts...)
+}
+
+// AnalyzeBrowserSEHContext is AnalyzeBrowserSEH with cancellation: the
+// pipeline checks ctx between stages and before each per-DLL symex job.
+func AnalyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
 	o := buildOptions(opts)
-	a := &discover.SEHAnalyzer{Seed: seed, Workers: o.workers}
-	return a.Analyze(br)
+	a := &discover.SEHAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
+	return a.AnalyzeContext(ctx, br)
 }
 
 // PriorWork checks an SEH report for the §VII-A previously-published

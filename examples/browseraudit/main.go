@@ -46,7 +46,7 @@ func run(w io.Writer, paper bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, crashresist.FormatFunnel(funnel))
 
 	fmt.Fprintln(w, "pipeline 3: scope-table extraction + symbolic filter execution ...")
@@ -54,7 +54,7 @@ func run(w io.Writer, paper bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, crashresist.FormatTableII(sehRep, crashresist.NamedDLLs()))
 	fmt.Fprintln(w, crashresist.FormatTableIII(sehRep, crashresist.NamedDLLs()))
 

@@ -38,7 +38,7 @@ func Run(w io.Writer) error {
 		return fmt.Errorf("audit: %w", err)
 	}
 
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, crashresist.FormatTableI(reports))
 
 	fmt.Fprintln(w, "per-server detail:")

@@ -1,11 +1,13 @@
 package discover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"crashresist/internal/fuzz"
 	"crashresist/internal/isa"
+	"crashresist/internal/metrics"
 	"crashresist/internal/taint"
 	"crashresist/internal/targets"
 	"crashresist/internal/trace"
@@ -54,30 +56,62 @@ func (r ExclusionReason) String() string {
 	}
 }
 
+// reasonTokens are the stable JSON wire names.
+var reasonTokens = map[ExclusionReason]string{
+	ReasonStackTransient: "stack_transient",
+	ReasonVolatile:       "volatile",
+	ReasonDerefOutside:   "deref_outside",
+	ReasonControllable:   "controllable",
+	ReasonUntriggered:    "untriggered",
+}
+
+// MarshalJSON encodes the reason as a stable string token.
+func (r ExclusionReason) MarshalJSON() ([]byte, error) {
+	tok, ok := reasonTokens[r]
+	if !ok {
+		return nil, fmt.Errorf("marshal: invalid exclusion reason %d", uint8(r))
+	}
+	return []byte(`"` + tok + `"`), nil
+}
+
+// UnmarshalJSON decodes a reason token.
+func (r *ExclusionReason) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	for val, tok := range reasonTokens {
+		if s == `"`+tok+`"` {
+			*r = val
+			return nil
+		}
+	}
+	return fmt.Errorf("unmarshal: unknown exclusion reason %s", s)
+}
+
 // APIClassification is the final-stage result for one JS-context API.
 type APIClassification struct {
-	API        string
-	Reason     ExclusionReason
-	Provenance uint64 // pointer storage address (when one exists)
-	Detail     string
+	API        string          `json:"api"`
+	Reason     ExclusionReason `json:"reason"`
+	Provenance uint64          `json:"provenance,omitempty"` // pointer storage address (when one exists)
+	Detail     string          `json:"detail,omitempty"`
 }
 
 // APIFunnelReport reproduces the §V-B funnel.
 type APIFunnelReport struct {
-	Browser string
+	Browser string `json:"browser"`
 	// The funnel: 20,672 → 11,521 → 400 → 25 → 12 → 0 in the paper.
-	Total          int // API functions in the corpus
-	WithPointer    int // with at least one documented pointer argument
-	CrashResistant int // surviving the invalid-pointer fuzzing battery
-	OnPath         int // crash-resistant and observed on the browse path
-	JSContext      int // of those, reachable from the scripting context
-	Controllable   int // of those, with a corruptible, safely-probing pointer
+	Total          int `json:"total"`           // API functions in the corpus
+	WithPointer    int `json:"with_pointer"`    // with at least one documented pointer argument
+	CrashResistant int `json:"crash_resistant"` // surviving the invalid-pointer fuzzing battery
+	OnPath         int `json:"on_path"`         // crash-resistant and observed on the browse path
+	JSContext      int `json:"js_context"`      // of those, reachable from the scripting context
+	Controllable   int `json:"controllable"`    // of those, with a corruptible, safely-probing pointer
 
 	// OnPathAPIs and JSContextAPIs name the surviving functions.
-	OnPathAPIs    []string
-	JSContextAPIs []string
+	OnPathAPIs    []string `json:"on_path_apis,omitempty"`
+	JSContextAPIs []string `json:"js_context_apis,omitempty"`
 	// Classifications explain each JS-context API's fate.
-	Classifications []APIClassification
+	Classifications []APIClassification `json:"classifications,omitempty"`
+	// Stats is the run's observability record (never rendered in tables).
+	Stats *metrics.RunStats `json:"stats,omitempty"`
 }
 
 // APIAnalyzer drives the Windows-API pipeline against a browser target.
@@ -88,6 +122,11 @@ type APIAnalyzer struct {
 	// Workers bounds the fuzzing and classification fan-out; <= 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// Progress receives live stage events (corpus → fuzz → harvest →
+	// classify). Must be safe for concurrent use.
+	Progress func(metrics.StageEvent)
+	// Sinks receive the run's live events and final RunStats.
+	Sinks []metrics.Sink
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
@@ -98,15 +137,28 @@ type APIAnalyzer struct {
 // stages write into index-addressed slices, keeping the funnel
 // byte-identical for any worker count.
 func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
+	return a.AnalyzeContext(context.Background(), br)
+}
+
+// AnalyzeContext is Analyze with cancellation, checked between stages and
+// before each fuzzing or classification job.
+func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*APIFunnelReport, error) {
 	invalid := a.InvalidAddr
 	if invalid == 0 {
 		invalid = InvalidProbeAddr
 	}
+	col := newRunCollector("api", br.Name, a.Workers, a.Progress, a.Sinks)
 
-	// Stage 1-3: black-box fuzzing of the API corpus, sharded per
-	// descriptor in registry order.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: generate the API corpus and select the pointer-taking
+	// descriptors in registry order.
+	span := col.StartStage("corpus", 0)
 	reg, err := winapi.GenerateCorpus(br.Params.API)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	fz := fuzz.New(reg, a.Seed)
@@ -116,15 +168,22 @@ func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 			ptrAPIs = append(ptrAPIs, d)
 		}
 	}
+	span.End()
+
+	// Stage 2-3: black-box fuzzing of the corpus, sharded per descriptor.
 	results := make([]fuzz.FuncResult, len(ptrAPIs))
-	err = runIndexed(a.Workers, len(ptrAPIs), func(i int) error {
+	span = col.StartStage("fuzz", len(ptrAPIs))
+	err = runIndexed(ctx, a.Workers, len(ptrAPIs), span, func(i int) error {
 		res, err := fz.FuzzOne(ptrAPIs[i])
 		if err != nil {
 			return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
 		}
+		col.Add(metrics.CtrProbes, uint64(len(res.Probes)))
+		harvestVMStats(col, res.Stats)
 		results[i] = res
 		return nil
 	})
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("fuzz corpus: %w", err)
 	}
@@ -144,9 +203,15 @@ func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 		CrashResistant: crashResistant,
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Stage 4-5: instrumented browse — call-site harvesting and context
 	// tagging.
-	obs, err := a.observeBrowse(br)
+	span = col.StartStage("harvest", 0)
+	obs, err := a.observeBrowse(br, col)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("browse %s: %w", br.Name, err)
 	}
@@ -166,15 +231,17 @@ func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 	// Stage 6: pointer-argument controllability for the JS-context set,
 	// one corrupted-replay environment per API.
 	report.Classifications = make([]APIClassification, len(report.JSContextAPIs))
-	err = runIndexed(a.Workers, len(report.JSContextAPIs), func(i int) error {
+	span = col.StartStage("classify", len(report.JSContextAPIs))
+	err = runIndexed(ctx, a.Workers, len(report.JSContextAPIs), span, func(i int) error {
 		api := report.JSContextAPIs[i]
-		cls, err := a.classify(br, api, obs.args[api], invalid)
+		cls, err := a.classify(br, api, obs.args[api], invalid, col)
 		if err != nil {
 			return fmt.Errorf("classify %s: %w", api, err)
 		}
 		report.Classifications[i] = cls
 		return nil
 	})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +250,11 @@ func (a *APIAnalyzer) Analyze(br *targets.Browser) (*APIFunnelReport, error) {
 			report.Controllable++
 		}
 	}
+	stats, err := col.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)
+	}
+	report.Stats = stats
 	return report, nil
 }
 
@@ -246,7 +318,7 @@ func (a *apiArgTracer) stackInJS(t *vm.Thread) bool {
 }
 
 // observeBrowse runs one instrumented browse.
-func (a *APIAnalyzer) observeBrowse(br *targets.Browser) (*browseObservation, error) {
+func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector) (*browseObservation, error) {
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
 		return nil, err
@@ -270,15 +342,17 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser) (*browseObservation, er
 	if err := env.Start(); err != nil {
 		return nil, err
 	}
-	if err := env.Browse(); err != nil {
-		return nil, err
+	browseErr := env.Browse()
+	harvestVMStats(col, env.Proc.Stats)
+	if browseErr != nil {
+		return nil, browseErr
 	}
 	return obs, nil
 }
 
 // classify decides an API's exclusion reason from its observed argument and
 // (when a corruptible pointer exists) a corrupted replay.
-func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64) (APIClassification, error) {
+func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64, col *metrics.Collector) (APIClassification, error) {
 	cls := APIClassification{API: api}
 	switch {
 	case obs.onStack:
@@ -298,6 +372,7 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 	if err != nil {
 		return cls, err
 	}
+	defer func() { harvestVMStats(col, env.Proc.Stats) }()
 	te := taint.New()
 	cor := &corruptingFlow{inner: te, as: env.Proc.AS, target: obs.prov, value: invalid}
 	env.Proc.Flow = cor

@@ -8,11 +8,20 @@ package discover
 // the caller merges the index-addressed slice in order afterwards. Nothing
 // is ever appended under a lock, so scheduling order cannot leak into
 // report contents.
+//
+// Both runners take a context and an optional metrics stage span. Workers
+// stop claiming jobs once the context is cancelled; the lowest-index job
+// error still wins, and ctx.Err() is only reported when no job failed.
+// The span receives a JobDone per executed job and the final per-worker
+// task distribution; a nil span records nothing.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"crashresist/internal/metrics"
 )
 
 // poolWorkers resolves a worker-count setting: values <= 0 select
@@ -29,40 +38,59 @@ func poolWorkers(n int) int {
 // its own slot and the lowest-index error is returned, so the reported
 // failure is independent of scheduling. With one worker the jobs run on
 // the calling goroutine.
-func runIndexed(workers, n int, fn func(i int) error) error {
+func runIndexed(ctx context.Context, workers, n int, span *metrics.Stage, fn func(i int) error) error {
 	workers = poolWorkers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 1 {
+		tasks := 0
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				span.ShardTasks([]int{tasks})
 				return err
 			}
+			if err := fn(i); err != nil {
+				span.ShardTasks([]int{tasks})
+				return err
+			}
+			tasks++
+			span.JobDone()
 		}
+		span.ShardTasks([]int{tasks})
 		return nil
 	}
 	errs := make([]error, n)
+	tasks := make([]int, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				errs[i] = fn(i)
+				tasks[w]++
+				span.JobDone()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return firstError(errs)
+	span.ShardTasks(tasks)
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // runSharded is runIndexed for jobs that need per-worker state (a private
@@ -70,24 +98,33 @@ func runIndexed(workers, n int, fn func(i int) error) error {
 // worker, up-front on the calling goroutine so construction order is
 // deterministic; fn receives the state of whichever worker claimed the
 // job. States never travel between goroutines after handoff.
-func runSharded[S any](workers, n int, newState func() (S, error), fn func(s S, i int) error) error {
+func runSharded[S any](ctx context.Context, workers, n int, span *metrics.Stage, newState func() (S, error), fn func(s S, i int) error) error {
 	workers = poolWorkers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 1 {
 		s, err := newState()
 		if err != nil {
 			return err
 		}
+		tasks := 0
 		for i := 0; i < n; i++ {
-			if err := fn(s, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				span.ShardTasks([]int{tasks})
 				return err
 			}
+			if err := fn(s, i); err != nil {
+				span.ShardTasks([]int{tasks})
+				return err
+			}
+			tasks++
+			span.JobDone()
 		}
+		span.ShardTasks([]int{tasks})
 		return nil
 	}
 	states := make([]S, workers)
@@ -99,23 +136,33 @@ func runSharded[S any](workers, n int, newState func() (S, error), fn func(s S, 
 		states[w] = s
 	}
 	errs := make([]error, n)
+	tasks := make([]int, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(s S) {
+		go func(w int, s S) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				errs[i] = fn(s, i)
+				tasks[w]++
+				span.JobDone()
 			}
-		}(states[w])
+		}(w, states[w])
 	}
 	wg.Wait()
-	return firstError(errs)
+	span.ShardTasks(tasks)
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 func firstError(errs []error) error {

@@ -1,6 +1,7 @@
 package discover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -15,7 +16,7 @@ func TestRunIndexedCoversAllJobs(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			const n = 37
 			out := make([]int, n)
-			if err := runIndexed(workers, n, func(i int) error {
+			if err := runIndexed(context.Background(), workers, n, nil, func(i int) error {
 				out[i] = i * i
 				return nil
 			}); err != nil {
@@ -33,7 +34,7 @@ func TestRunIndexedCoversAllJobs(t *testing.T) {
 func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
 	errA := errors.New("job 3 failed")
 	errB := errors.New("job 9 failed")
-	err := runIndexed(4, 12, func(i int) error {
+	err := runIndexed(context.Background(), 4, 12, nil, func(i int) error {
 		switch i {
 		case 3:
 			return errA
@@ -48,7 +49,7 @@ func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestRunIndexedZeroJobs(t *testing.T) {
-	if err := runIndexed(4, 0, func(int) error {
+	if err := runIndexed(context.Background(), 4, 0, nil, func(int) error {
 		t.Fatal("fn called for empty job set")
 		return nil
 	}); err != nil {
@@ -62,7 +63,7 @@ func TestRunShardedStateIsolation(t *testing.T) {
 	const n = 200
 	var created atomic.Int32
 	counters := make([]*int64, 0, 8)
-	err := runSharded(4, n,
+	err := runSharded(context.Background(), 4, n, nil,
 		func() (*int64, error) {
 			created.Add(1)
 			c := new(int64)
@@ -90,7 +91,7 @@ func TestRunShardedStateIsolation(t *testing.T) {
 
 func TestRunShardedStateError(t *testing.T) {
 	boom := errors.New("no state for you")
-	err := runSharded(3, 10,
+	err := runSharded(context.Background(), 3, 10, nil,
 		func() (int, error) { return 0, boom },
 		func(int, int) error {
 			t.Fatal("fn called despite state construction failure")
@@ -103,7 +104,7 @@ func TestRunShardedStateError(t *testing.T) {
 
 func TestRunShardedCapsWorkersAtJobs(t *testing.T) {
 	var created atomic.Int32
-	err := runSharded(16, 2,
+	err := runSharded(context.Background(), 16, 2, nil,
 		func() (struct{}, error) {
 			created.Add(1)
 			return struct{}{}, nil
@@ -129,12 +130,16 @@ func TestSEHAnalyzeWorkerInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// RunStats carries wall-clock times and shard splits, which are
+	// legitimately worker-dependent; everything else must match exactly.
+	want.Stats = nil
 	for _, workers := range []int{2, 4, 8} {
 		a := &SEHAnalyzer{Seed: 42, Workers: workers}
 		got, err := a.Analyze(br)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
+		got.Stats = nil
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d report differs from sequential:\n got %+v\nwant %+v", workers, got, want)
 		}
@@ -153,12 +158,14 @@ func TestAPIAnalyzeWorkerInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	want.Stats = nil
 	for _, workers := range []int{2, 8} {
 		a := &APIAnalyzer{Seed: 42, Workers: workers}
 		got, err := a.Analyze(br)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
+		got.Stats = nil
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d funnel differs from sequential:\n got %+v\nwant %+v", workers, got, want)
 		}
@@ -182,6 +189,7 @@ func TestSyscallAnalyzeWorkerInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		rep.Stats = nil
 		want = append(want, rep)
 	}
 	for _, workers := range []int{2, 8} {
@@ -194,6 +202,7 @@ func TestSyscallAnalyzeWorkerInvariance(t *testing.T) {
 			t.Fatalf("workers=%d: %d reports, want %d", workers, len(got), len(want))
 		}
 		for i := range got {
+			got[i].Stats = nil
 			if !reflect.DeepEqual(got[i], want[i]) {
 				t.Errorf("workers=%d report[%d] (%s) differs from sequential", workers, i, want[i].Server)
 			}

@@ -1,0 +1,47 @@
+package discover
+
+// Instrumentation glue between the pipelines and the metrics package: one
+// collector per analysis run, harvesting the emulator's, kernel model's and
+// symex cache's counters into it. Everything here mirrors deterministic
+// totals — harvest calls are commutative additions, so run counters are
+// identical at any worker count.
+
+import (
+	"crashresist/internal/kernel"
+	"crashresist/internal/metrics"
+	"crashresist/internal/sym"
+	"crashresist/internal/vm"
+)
+
+// newRunCollector builds the per-run collector for a pipeline, wiring the
+// analyzer's progress callback and sinks.
+func newRunCollector(pipeline, target string, workers int, progress func(metrics.StageEvent), sinks []metrics.Sink) *metrics.Collector {
+	col := metrics.NewCollector(pipeline, target, poolWorkers(workers))
+	col.SetProgress(progress)
+	for _, s := range sinks {
+		col.AddSink(s)
+	}
+	return col
+}
+
+// harvestVMStats mirrors a finished process's counters into the collector.
+func harvestVMStats(col *metrics.Collector, s vm.Stats) {
+	col.Add(metrics.CtrInstructions, s.Instructions)
+	col.Add(metrics.CtrFaults, s.Faults)
+	col.Add(metrics.CtrFaultsUnmapped, s.FaultsUnmapped)
+	col.Add(metrics.CtrFaultsHandled, s.FaultsHandled)
+	col.Add(metrics.CtrSyscalls, s.Syscalls)
+	col.Add(metrics.CtrAPICalls, s.APICalls)
+}
+
+// harvestKernelCounts mirrors a kernel model's dispatch counters.
+func harvestKernelCounts(col *metrics.Collector, c kernel.Counts) {
+	col.Add(metrics.CtrEFAULTReturns, c.EFAULTReturns)
+}
+
+// harvestCacheStats mirrors the symex cache counters.
+func harvestCacheStats(col *metrics.Collector, s sym.CacheStats) {
+	col.Add(metrics.CtrSymexCacheHits, uint64(s.Hits))
+	col.Add(metrics.CtrSymexCacheMisses, uint64(s.Misses))
+	col.Add(metrics.CtrSymexCacheUncacheable, uint64(s.Uncacheable))
+}

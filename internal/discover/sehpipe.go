@@ -1,10 +1,12 @@
 package discover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/metrics"
 	"crashresist/internal/seh"
 	"crashresist/internal/sym"
 	"crashresist/internal/targets"
@@ -13,55 +15,57 @@ import (
 
 // ModuleSEH is one row of Tables II/III for a loaded module.
 type ModuleSEH struct {
-	Module string
+	Module string `json:"module"`
 	// Table II columns.
-	Handlers   int // guarded code locations before symbolic execution
-	AVHandlers int // guarded by AV-accepting filters or catch-all, after SE
-	OnPath     int // of the accepting set, seen on the browse path
+	Handlers   int `json:"handlers"`    // guarded code locations before symbolic execution
+	AVHandlers int `json:"av_handlers"` // guarded by AV-accepting filters or catch-all, after SE
+	OnPath     int `json:"on_path"`     // of the accepting set, seen on the browse path
 	// Table III columns.
-	Filters        int // unique filter functions before SE
-	AVFilters      int // accepting access violations, after SE
-	UnknownFilters int // outside the symbolic executor's fragment (manual)
-	CatchAll       int // catch-all scope entries (not filter functions)
+	Filters        int `json:"filters"`         // unique filter functions before SE
+	AVFilters      int `json:"av_filters"`      // accepting access violations, after SE
+	UnknownFilters int `json:"unknown_filters"` // outside the symbolic executor's fragment (manual)
+	CatchAll       int `json:"catch_all"`       // catch-all scope entries (not filter functions)
 }
 
 // SEHCandidate is one crash-resistant handler candidate on the execution
 // path — the set handed to manual vetting in the paper.
 type SEHCandidate struct {
-	Module   string
-	Scope    int
-	FuncName string
-	CatchAll bool
-	Hits     uint64
+	Module   string `json:"module"`
+	Scope    int    `json:"scope"`
+	FuncName string `json:"func_name"`
+	CatchAll bool   `json:"catch_all"`
+	Hits     uint64 `json:"hits"`
 }
 
 // SEHReport is the exception-handler pipeline result for one browser.
 type SEHReport struct {
-	Browser string
-	Modules []ModuleSEH
+	Browser string      `json:"browser"`
+	Modules []ModuleSEH `json:"modules,omitempty"`
 	// Totals across all modules.
-	TotalModules    int
-	TotalHandlers   int
-	TotalFilters    int
-	TotalAVFilters  int
-	TotalAVHandlers int
-	TotalOnPath     int
+	TotalModules    int `json:"total_modules"`
+	TotalHandlers   int `json:"total_handlers"`
+	TotalFilters    int `json:"total_filters"`
+	TotalAVFilters  int `json:"total_av_filters"`
+	TotalAVHandlers int `json:"total_av_handlers"`
+	TotalOnPath     int `json:"total_on_path"`
 	// TriggerEvents counts executions of accepting guarded locations
 	// during the browse run (736,512 in the paper).
-	TriggerEvents uint64
+	TriggerEvents uint64 `json:"trigger_events"`
 	// Candidates lists the on-path accepting handlers.
-	Candidates []SEHCandidate
+	Candidates []SEHCandidate `json:"candidates,omitempty"`
 	// UnknownFilterModules lists modules whose filters need manual
 	// vetting (the §VII-A post-update IE case).
-	UnknownFilterModules []string
+	UnknownFilterModules []string `json:"unknown_filter_modules,omitempty"`
 	// VEHRegistered reports run-time vectored handlers present in the
 	// process that the scope-table pipeline cannot attribute to any
 	// static metadata (the §VII-A Firefox miss).
-	VEHRegistered int
+	VEHRegistered int `json:"veh_registered"`
 	// VEHFindings is the §VII-A *extension* the paper proposes: static
 	// discovery of AddVectoredExceptionHandler registrations with
 	// handler-argument recovery and symbolic classification.
-	VEHFindings []VEHFinding
+	VEHFindings []VEHFinding `json:"veh_findings,omitempty"`
+	// Stats is the run's observability record (never rendered in tables).
+	Stats *metrics.RunStats `json:"stats,omitempty"`
 }
 
 // Row returns the module row by name.
@@ -79,31 +83,50 @@ type SEHAnalyzer struct {
 	Seed int64
 	// Workers bounds the per-DLL fan-out; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Progress receives live stage events (browse → extract → symex →
+	// cross-ref). Must be safe for concurrent use.
+	Progress func(metrics.StageEvent)
+	// Sinks receive the run's live events and final RunStats.
+	Sinks []metrics.Sink
 
 	// CacheStats holds the symex cache counters of the last Analyze call.
 	CacheStats sym.CacheStats
 }
 
-// sehModuleResult is one DLL's contribution, produced by a worker and
-// merged in module load order so the report is scheduling-independent.
-type sehModuleResult struct {
-	row      ModuleSEH
-	hasRow   bool
-	cands    []SEHCandidate
-	unknown  bool
-	triggers uint64
+// sehSymexResult is one DLL's filter-classification output, produced by a
+// worker and consumed by the sequential cross-ref stage.
+type sehSymexResult struct {
+	verdicts       map[uint32]sym.Verdict
+	avFilters      int
+	unknownFilters int
 }
 
 // Analyze extracts every module's scope table, symbolically executes each
 // unique filter, runs an instrumented browse to collect coverage, and
-// cross-references the two. The per-DLL analysis fans out across a worker
-// pool; every worker owns a private process environment and symbolic
-// executor, sharing only the read-only coverage map and the memoizing
-// filter cache. Results land in an index-addressed slice keyed by module
-// load order, so the report is byte-identical for any worker count.
+// cross-references the two.
 func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
+	return a.AnalyzeContext(context.Background(), br)
+}
+
+// AnalyzeContext is Analyze with cancellation. The pipeline runs four
+// stages — browse, extract, symex, cross-ref. Only symex fans out: every
+// worker owns a private process environment and symbolic executor, sharing
+// only the memoizing filter cache, and results land in an index-addressed
+// slice keyed by module load order, so the report is byte-identical for
+// any worker count.
+func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*SEHReport, error) {
+	col := newRunCollector("seh", br.Name, a.Workers, a.Progress, a.Sinks)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: instrumented browse for coverage, plus the run-time VEH
+	// census and the §VII-A registration scan.
+	span := col.StartStage("browse", 0)
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	rec := trace.NewRecorder()
@@ -111,10 +134,14 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 	rec.Attach(env.Proc)
 
 	if err := env.Start(); err != nil {
+		span.End()
 		return nil, err
 	}
-	if err := env.Browse(); err != nil {
-		return nil, fmt.Errorf("browse: %w", err)
+	browseErr := env.Browse()
+	harvestVMStats(col, env.Proc.Stats)
+	span.End()
+	if browseErr != nil {
+		return nil, fmt.Errorf("browse: %w", browseErr)
 	}
 	hits := rec.ScopeHits()
 
@@ -131,9 +158,40 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 	}
 	report.TotalModules = len(libs)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: static scope-table extraction, sequential on the main
+	// environment's modules. Modules without guarded locations are
+	// analyzed but contribute no row and no symex work.
+	invs := make([]seh.ModuleInventory, len(libs))
+	span = col.StartStage("extract", len(libs))
+	var work []int // indices into libs with at least one handler
+	err = runIndexed(ctx, 1, len(libs), span, func(i int) error {
+		mod, ok := env.Proc.Module(libs[i])
+		if !ok {
+			return fmt.Errorf("module %s missing from environment", libs[i])
+		}
+		invs[i] = seh.Extract(mod)
+		return nil
+	})
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	for i := range invs {
+		if len(invs[i].Handlers) > 0 {
+			work = append(work, i)
+		}
+	}
+
+	// Stage 3: symbolic execution of each unique filter, fanned out per
+	// DLL with private worker environments and a shared memoizing cache.
 	cache := sym.NewCache()
-	results := make([]sehModuleResult, len(libs))
-	err = runSharded(a.Workers, len(libs),
+	symex := make([]sehSymexResult, len(libs))
+	span = col.StartStage("symex", len(work))
+	err = runSharded(ctx, a.Workers, len(work), span,
 		func() (*sym.Executor, error) {
 			wenv, err := br.NewEnv(a.Seed)
 			if err != nil {
@@ -143,28 +201,35 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 			exec.Cache = cache
 			return exec, nil
 		},
-		func(exec *sym.Executor, i int) error {
+		func(exec *sym.Executor, w int) error {
+			i := work[w]
 			mod, ok := exec.Proc().Module(libs[i])
 			if !ok {
 				return fmt.Errorf("module %s missing from worker environment", libs[i])
 			}
-			results[i] = analyzeModuleSEH(exec, mod, hits)
+			symex[i] = classifyModuleFilters(exec, mod, invs[i])
 			return nil
 		})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	a.CacheStats = cache.Stats()
+	harvestCacheStats(col, a.CacheStats)
 
-	for _, res := range results {
-		if !res.hasRow {
-			continue
-		}
-		row := res.row
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 4: cross-reference accepting handlers with browse coverage,
+	// sequentially in module load order.
+	span = col.StartStage("cross-ref", len(work))
+	for _, i := range work {
+		row, cands, triggers := crossRefModuleSEH(libs[i], invs[i], symex[i], hits)
 		report.Modules = append(report.Modules, row)
-		report.Candidates = append(report.Candidates, res.cands...)
-		report.TriggerEvents += res.triggers
-		if res.unknown {
+		report.Candidates = append(report.Candidates, cands...)
+		report.TriggerEvents += triggers
+		if row.UnknownFilters > 0 {
 			report.UnknownFilterModules = append(report.UnknownFilterModules, row.Module)
 		}
 		report.TotalHandlers += row.Handlers
@@ -172,7 +237,9 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 		report.TotalAVFilters += row.AVFilters
 		report.TotalAVHandlers += row.AVHandlers
 		report.TotalOnPath += row.OnPath
+		span.JobDone()
 	}
+	span.End()
 
 	sort.Slice(report.Candidates, func(i, j int) bool {
 		if report.Candidates[i].Module != report.Candidates[j].Module {
@@ -181,52 +248,64 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 		return report.Candidates[i].Scope < report.Candidates[j].Scope
 	})
 	sort.Strings(report.UnknownFilterModules)
+	stats, err := col.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)
+	}
+	report.Stats = stats
 	return report, nil
 }
 
-// analyzeModuleSEH runs the scope-table + symbolic-execution analysis for
-// one module. It reads only the module, the (frozen) coverage map and the
-// executor's own process, so module jobs are independent.
-func analyzeModuleSEH(exec *sym.Executor, mod *bin.Module, hits map[trace.ScopeKey]uint64) sehModuleResult {
-	inv := seh.Extract(mod)
-	if len(inv.Handlers) == 0 {
-		// Analyzed, but nothing to report.
-		return sehModuleResult{}
-	}
-
-	// Classify each unique filter once.
-	verdicts := make(map[uint32]sym.Verdict, len(inv.Filters))
-	res := sehModuleResult{hasRow: true}
-	res.row = ModuleSEH{Module: mod.Image.Name, Handlers: len(inv.Handlers), Filters: len(inv.Filters)}
+// classifyModuleFilters symbolically executes each unique filter of one
+// module. It reads only the module, the inventory and the executor's own
+// process, so module jobs are independent.
+func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleInventory) sehSymexResult {
+	res := sehSymexResult{verdicts: make(map[uint32]sym.Verdict, len(inv.Filters))}
 	for _, f := range inv.Filters {
 		rep := exec.AnalyzeFilterIn(mod, f)
-		verdicts[f] = rep.Verdict
+		res.verdicts[f] = rep.Verdict
 		switch rep.Verdict {
 		case sym.VerdictAccepts:
-			res.row.AVFilters++
+			res.avFilters++
 		case sym.VerdictUnknown:
-			res.row.UnknownFilters++
+			res.unknownFilters++
 		}
 	}
+	return res
+}
 
+// crossRefModuleSEH builds one module's table row from its inventory,
+// filter verdicts and the browse coverage map.
+func crossRefModuleSEH(module string, inv seh.ModuleInventory, sx sehSymexResult, hits map[trace.ScopeKey]uint64) (ModuleSEH, []SEHCandidate, uint64) {
+	row := ModuleSEH{
+		Module:         module,
+		Handlers:       len(inv.Handlers),
+		Filters:        len(inv.Filters),
+		AVFilters:      sx.avFilters,
+		UnknownFilters: sx.unknownFilters,
+	}
+	var (
+		cands    []SEHCandidate
+		triggers uint64
+	)
 	for _, h := range inv.Handlers {
 		accepting := false
 		if h.IsCatchAll() {
-			res.row.CatchAll++
+			row.CatchAll++
 			accepting = true
-		} else if verdicts[h.Entry.Filter] == sym.VerdictAccepts {
+		} else if sx.verdicts[h.Entry.Filter] == sym.VerdictAccepts {
 			accepting = true
 		}
 		if !accepting {
 			continue
 		}
-		res.row.AVHandlers++
-		key := trace.ScopeKey{Module: mod.Image.Name, Index: h.Index}
+		row.AVHandlers++
+		key := trace.ScopeKey{Module: module, Index: h.Index}
 		if n := hits[key]; n > 0 {
-			res.row.OnPath++
-			res.triggers += n
-			res.cands = append(res.cands, SEHCandidate{
-				Module:   mod.Image.Name,
+			row.OnPath++
+			triggers += n
+			cands = append(cands, SEHCandidate{
+				Module:   module,
 				Scope:    h.Index,
 				FuncName: h.FuncName,
 				CatchAll: h.IsCatchAll(),
@@ -234,8 +313,7 @@ func analyzeModuleSEH(exec *sym.Executor, mod *bin.Module, hits map[trace.ScopeK
 			})
 		}
 	}
-	res.unknown = res.row.UnknownFilters > 0
-	return res
+	return row, cands, triggers
 }
 
 // PriorWorkFindings reproduces §VII-A: whether the pipeline rediscovers the
@@ -243,17 +321,17 @@ func analyzeModuleSEH(exec *sym.Executor, mod *bin.Module, hits map[trace.ScopeK
 type PriorWorkFindings struct {
 	// IECatchAllFound: the jscript9 MUTX::Enter catch-all scope entry is
 	// among the accepting candidates.
-	IECatchAllFound bool
+	IECatchAllFound bool `json:"ie_catch_all_found"`
 	// IEPostUpdateNeedsManual: the configuration-dependent filter calls
 	// another function, so symbolic execution reports it unknown.
-	IEPostUpdateNeedsManual bool
+	IEPostUpdateNeedsManual bool `json:"ie_post_update_needs_manual"`
 	// FirefoxVEHMissed: a run-time vectored handler exists in the
 	// process but no scope-table candidate corresponds to it.
-	FirefoxVEHMissed bool
+	FirefoxVEHMissed bool `json:"firefox_veh_missed"`
 	// FirefoxVEHFoundByExtension: the §VII-A extension (static scanning
 	// for AddVectoredExceptionHandler call sites) recovers the handler
 	// and classifies it as resolving access violations.
-	FirefoxVEHFoundByExtension bool
+	FirefoxVEHFoundByExtension bool `json:"firefox_veh_found_by_extension"`
 }
 
 // PriorWork inspects a report for the §VII-A verification cases.

@@ -18,12 +18,14 @@
 package discover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"crashresist/internal/isa"
 	"crashresist/internal/kernel"
 	"crashresist/internal/mem"
+	"crashresist/internal/metrics"
 	"crashresist/internal/targets"
 	"crashresist/internal/vm"
 )
@@ -79,6 +81,38 @@ func (s SyscallStatus) String() string {
 	}
 }
 
+// syscallStatusTokens are the stable JSON wire names. The display strings
+// above carry table-legend punctuation, so the wire uses separate tokens.
+var syscallStatusTokens = map[SyscallStatus]string{
+	StatusNotObserved:      "not_observed",
+	StatusObserved:         "observed",
+	StatusUntriggered:      "untriggered",
+	StatusInvalidCandidate: "invalid_candidate",
+	StatusFalsePositive:    "false_positive",
+	StatusUsable:           "usable",
+}
+
+// MarshalJSON encodes the status as a stable string token.
+func (s SyscallStatus) MarshalJSON() ([]byte, error) {
+	tok, ok := syscallStatusTokens[s]
+	if !ok {
+		return nil, fmt.Errorf("marshal: invalid syscall status %d", uint8(s))
+	}
+	return []byte(`"` + tok + `"`), nil
+}
+
+// UnmarshalJSON decodes a status token.
+func (s *SyscallStatus) UnmarshalJSON(b []byte) error {
+	str := string(b)
+	for val, tok := range syscallStatusTokens {
+		if str == `"`+tok+`"` {
+			*s = val
+			return nil
+		}
+	}
+	return fmt.Errorf("unmarshal: unknown syscall status %s", str)
+}
+
 // Mark returns the compact Table I cell mark.
 func (s SyscallStatus) Mark() string {
 	switch s {
@@ -101,32 +135,35 @@ func (s SyscallStatus) Mark() string {
 
 // Candidate is one corruptible pointer argument observed at a syscall.
 type Candidate struct {
-	Syscall    string
-	Num        uint64
-	ArgIndex   int
-	Provenance uint64 // memory address the pointer value was loaded from
-	TaintMask  uint64 // network-input taint labels on the pointer value
-	Count      int    // times observed
+	Syscall    string `json:"syscall"`
+	Num        uint64 `json:"num"`
+	ArgIndex   int    `json:"arg_index"`
+	Provenance uint64 `json:"provenance"` // memory address the pointer value was loaded from
+	TaintMask  uint64 `json:"taint_mask"` // network-input taint labels on the pointer value
+	Count      int    `json:"count"`      // times observed
 }
 
 // Finding is a validated candidate.
 type Finding struct {
 	Candidate
-	Status SyscallStatus
-	Detail string
+	Status SyscallStatus `json:"status"`
+	Detail string        `json:"detail,omitempty"`
 }
 
 // SyscallReport is the per-server Table I result.
 type SyscallReport struct {
-	Server string
+	Server string `json:"server"`
 	// Status holds the final per-syscall classification for every
 	// EFAULT-capable syscall.
-	Status map[string]SyscallStatus
+	Status map[string]SyscallStatus `json:"status"`
 	// Findings holds every validated candidate with detail.
-	Findings []Finding
+	Findings []Finding `json:"findings,omitempty"`
 	// ObservedOnly lists EFAULT-capable syscalls that ran without any
 	// corruptible pointer.
-	ObservedOnly []string
+	ObservedOnly []string `json:"observed_only,omitempty"`
+	// Stats is the run's observability record. It never feeds table
+	// rendering, so report formatting stays byte-identical.
+	Stats *metrics.RunStats `json:"stats,omitempty"`
 }
 
 // Usable returns the names of syscalls classified usable.
@@ -153,15 +190,27 @@ type SyscallAnalyzer struct {
 	// validation replays within one Analyze (per candidate); <= 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// Progress receives live stage events (taint → candidate → validate).
+	// When AnalyzeAll fans servers out, events from concurrent runs
+	// interleave; the callback must be safe for concurrent use.
+	Progress func(metrics.StageEvent)
+	// Sinks receive each run's live events and final RunStats.
+	Sinks []metrics.Sink
 }
 
 // AnalyzeAll runs the pipeline for every server, fanning the servers out
 // across the worker pool. Reports are returned in input order and each is
 // identical to what a standalone Analyze(srv) would produce.
 func (a *SyscallAnalyzer) AnalyzeAll(servers []*targets.Server) ([]*SyscallReport, error) {
+	return a.AnalyzeAllContext(context.Background(), servers)
+}
+
+// AnalyzeAllContext is AnalyzeAll with cancellation: workers stop claiming
+// servers once ctx is done and the context error is returned.
+func (a *SyscallAnalyzer) AnalyzeAllContext(ctx context.Context, servers []*targets.Server) ([]*SyscallReport, error) {
 	reports := make([]*SyscallReport, len(servers))
-	err := runIndexed(a.Workers, len(servers), func(i int) error {
-		rep, err := a.Analyze(servers[i])
+	err := runIndexed(ctx, a.Workers, len(servers), nil, func(i int) error {
+		rep, err := a.AnalyzeContext(ctx, servers[i])
 		if err != nil {
 			return err
 		}
@@ -179,14 +228,27 @@ func (a *SyscallAnalyzer) AnalyzeAll(servers []*targets.Server) ([]*SyscallRepor
 // environment), so they fan out across the worker pool; findings land in
 // candidate order and statuses merge sequentially afterwards.
 func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
+	return a.AnalyzeContext(context.Background(), srv)
+}
+
+// AnalyzeContext is Analyze with cancellation, checked between stages and
+// before each validation replay.
+func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Server) (*SyscallReport, error) {
 	invalid := a.InvalidAddr
 	if invalid == 0 {
 		invalid = InvalidProbeAddr
 	}
+	col := newRunCollector("syscall", srv.Name, a.Workers, a.Progress, a.Sinks)
 
-	observed, candidates, err := a.observe(srv)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	observed, candidates, err := a.observe(srv, col)
 	if err != nil {
 		return nil, fmt.Errorf("observe %s: %w", srv.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	report := &SyscallReport{
@@ -205,14 +267,16 @@ func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
 	}
 
 	findings := make([]Finding, len(candidates))
-	err = runIndexed(a.Workers, len(candidates), func(i int) error {
-		finding, err := a.validate(srv, candidates[i], invalid)
+	span := col.StartStage("validate", len(candidates))
+	err = runIndexed(ctx, a.Workers, len(candidates), span, func(i int) error {
+		finding, err := a.validate(srv, candidates[i], invalid, col)
 		if err != nil {
 			return fmt.Errorf("validate %s/%s: %w", srv.Name, candidates[i].Syscall, err)
 		}
 		findings[i] = finding
 		return nil
 	})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -235,12 +299,18 @@ func (a *SyscallAnalyzer) Analyze(srv *targets.Server) (*SyscallReport, error) {
 		}
 		return report.Findings[i].ArgIndex < report.Findings[j].ArgIndex
 	})
+	stats, err := col.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("flush metrics %s: %w", srv.Name, err)
+	}
+	report.Stats = stats
 	return report, nil
 }
 
 // observe runs the suite once under taint tracking, collecting observed
-// EFAULT-capable syscalls and corruptible-pointer candidates.
-func (a *SyscallAnalyzer) observe(srv *targets.Server) (map[string]bool, []Candidate, error) {
+// EFAULT-capable syscalls and corruptible-pointer candidates. The run is
+// the "taint" span; candidate distillation afterwards is "candidate".
+func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (map[string]bool, []Candidate, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
 		return nil, nil, err
@@ -283,14 +353,23 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server) (map[string]bool, []Candi
 	}}
 	env.Kern.SetObserver(obs)
 
+	span := col.StartStage("taint", 0)
 	if err := env.Boot(); err != nil {
 		// A server that cannot even boot yields an empty observation.
+		span.End()
+		harvestVMStats(col, env.Proc.Stats)
+		harvestKernelCounts(col, env.Kern.Counts())
 		return observed, nil, nil
 	}
-	if err := srv.Suite(env); err != nil {
-		return nil, nil, err
+	suiteErr := srv.Suite(env)
+	span.End()
+	harvestVMStats(col, env.Proc.Stats)
+	harvestKernelCounts(col, env.Kern.Counts())
+	if suiteErr != nil {
+		return nil, nil, suiteErr
 	}
 
+	span = col.StartStage("candidate", len(candByKey))
 	keys := make([]string, 0, len(candByKey))
 	for k := range candByKey {
 		keys = append(keys, k)
@@ -299,17 +378,23 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server) (map[string]bool, []Candi
 	out := make([]Candidate, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, *candByKey[k])
+		span.JobDone()
 	}
+	span.End()
 	return observed, out, nil
 }
 
 // validate replays the suite with the candidate's pointer storage corrupted
 // and classifies the outcome.
-func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64) (Finding, error) {
+func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64, col *metrics.Collector) (Finding, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
 		return Finding{}, err
 	}
+	defer func() {
+		harvestVMStats(col, env.Proc.Stats)
+		harvestKernelCounts(col, env.Kern.Counts())
+	}()
 
 	// Corrupt the stored pointer now (covers load-time relocations) and
 	// after every subsequent program store to it (covers runtime

@@ -16,19 +16,19 @@ const VEHAPIName = "AddVectoredExceptionHandler"
 // the extension the paper sketches in §VII-A ("locating all calls to
 // AddVectoredExceptionHandler and extracting the handler address").
 type VEHFinding struct {
-	Module string
+	Module string `json:"module"`
 	// CallPC is the registration call site.
-	CallPC uint64
+	CallPC uint64 `json:"call_pc"`
 	// HandlerVA is the recovered handler address (0 if unresolved).
-	HandlerVA uint64
+	HandlerVA uint64 `json:"handler_va,omitempty"`
 	// HandlerSym names the handler when a symbol covers it.
-	HandlerSym string
+	HandlerSym string `json:"handler_sym,omitempty"`
 	// Resolved reports whether the static value tracking recovered the
 	// handler argument.
-	Resolved bool
+	Resolved bool `json:"resolved"`
 	// Verdict classifies the handler against access violations
 	// (VEH accepts by returning CONTINUE_EXECUTION).
-	Verdict sym.Verdict
+	Verdict sym.Verdict `json:"verdict,omitempty"`
 }
 
 // String renders the finding.

@@ -65,6 +65,8 @@ type FuncResult struct {
 	// CrashResistant: every invalid-pointer probe returned gracefully.
 	CrashResistant bool
 	Probes         []Probe
+	// Stats sums the harness processes' VM counters across all probes.
+	Stats vm.Stats
 }
 
 // Summary aggregates a corpus-wide fuzzing campaign — the first three
@@ -116,10 +118,11 @@ func (f *Fuzzer) FuzzOne(d *winapi.Descriptor) (FuncResult, error) {
 	}
 	res := FuncResult{Name: d.Name, ID: d.ID, CrashResistant: true}
 	for _, ptr := range InvalidPointers {
-		outcome, ret, err := f.runProbe(img, d, ptr)
+		outcome, ret, stats, err := f.runProbe(img, d, ptr)
 		if err != nil {
 			return FuncResult{}, err
 		}
+		res.Stats.Add(stats)
 		res.Probes = append(res.Probes, Probe{Pointer: ptr, Outcome: outcome, Ret: ret})
 		if outcome != OutcomeGraceful {
 			res.CrashResistant = false
@@ -130,7 +133,7 @@ func (f *Fuzzer) FuzzOne(d *winapi.Descriptor) (FuncResult, error) {
 
 // runProbe executes one harness run with the probe pointer in every
 // documented pointer-argument slot.
-func (f *Fuzzer) runProbe(img *bin.Image, d *winapi.Descriptor, ptr uint64) (Outcome, uint64, error) {
+func (f *Fuzzer) runProbe(img *bin.Image, d *winapi.Descriptor, ptr uint64) (Outcome, uint64, vm.Stats, error) {
 	p := vm.NewProcess(vm.Config{
 		Platform:  vm.PlatformWindows,
 		Seed:      f.seed,
@@ -138,7 +141,7 @@ func (f *Fuzzer) runProbe(img *bin.Image, d *winapi.Descriptor, ptr uint64) (Out
 	})
 	p.API = f.reg
 	if _, err := p.LoadImage(img); err != nil {
-		return 0, 0, err
+		return 0, 0, vm.Stats{}, err
 	}
 
 	args := make([]uint64, 5)
@@ -154,14 +157,14 @@ func (f *Fuzzer) runProbe(img *bin.Image, d *winapi.Descriptor, ptr uint64) (Out
 		}
 	}
 	if _, err := p.Start(args...); err != nil {
-		return 0, 0, err
+		return 0, 0, vm.Stats{}, err
 	}
 	p.RunUntilIdle(100_000)
 	switch p.State {
 	case vm.ProcExited:
-		return OutcomeGraceful, p.ExitCode, nil
+		return OutcomeGraceful, p.ExitCode, p.Stats, nil
 	default:
-		return OutcomeCrash, 0, nil
+		return OutcomeCrash, 0, p.Stats, nil
 	}
 }
 

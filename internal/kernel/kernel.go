@@ -187,10 +187,25 @@ type Kernel struct {
 	observer Observer
 	rewrite  ArgRewriter
 
+	counts Counts
+
 	// sleepers are threads blocked in the kernel; any external event
 	// wakes them all and their continuations re-evaluate readiness.
 	sleepers map[int]*vm.Thread
 }
+
+// Counts aggregates kernel-level dispatch counters for the observability
+// layer. Totals are deterministic for a fixed seed and workload.
+type Counts struct {
+	// Dispatched counts SYSCALL instructions entering the kernel.
+	Dispatched uint64
+	// EFAULTReturns counts completions that returned -EFAULT, i.e. the
+	// crash-resistant "bad pointer survived" signal from §IV-A.
+	EFAULTReturns uint64
+}
+
+// Counts returns the kernel's dispatch counters so far.
+func (k *Kernel) Counts() Counts { return k.counts }
 
 // fileLike is anything installable in the fd table.
 type fileLike interface {
@@ -242,6 +257,7 @@ func (k *Kernel) Syscall(p *vm.Process, t *vm.Thread) {
 	if k.rewrite != nil {
 		k.rewrite(t, num, &args)
 	}
+	k.counts.Dispatched++
 	spec, _ := SpecFor(num)
 	ev := Event{Thread: t, Num: num, Name: spec.Name, Args: args}
 	if k.observer != nil {
@@ -252,6 +268,9 @@ func (k *Kernel) Syscall(p *vm.Process, t *vm.Thread) {
 
 // complete finishes a syscall, reporting to the observer.
 func (k *Kernel) complete(t *vm.Thread, ev Event, ret uint64) {
+	if int64(ret) == -int64(EFAULT) {
+		k.counts.EFAULTReturns++
+	}
 	t.SetReg(0, ret)
 	if k.proc.Flow != nil {
 		// The return value is kernel-produced: clear R0's taint and

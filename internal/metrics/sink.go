@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+)
+
+// Sink receives a run's live stage events and its final snapshot. Sinks
+// attached to analyses that fan out across servers (AnalyzeServers) are
+// shared between runs and must be safe for concurrent use; the sinks in
+// this package all are.
+type Sink interface {
+	// Event receives one live stage event.
+	Event(ev StageEvent)
+	// Flush receives the final RunStats when the run completes. A
+	// returned error propagates out of the analysis.
+	Flush(stats *RunStats) error
+}
+
+// MemorySink retains events and snapshots in memory — the test and
+// embedding-friendly sink.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []StageEvent
+	runs   []*RunStats
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Event implements Sink.
+func (m *MemorySink) Event(ev StageEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, ev)
+}
+
+// Flush implements Sink.
+func (m *MemorySink) Flush(stats *RunStats) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs = append(m.runs, stats)
+	return nil
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (m *MemorySink) Events() []StageEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]StageEvent(nil), m.events...)
+}
+
+// Runs returns the flushed run snapshots in completion order.
+func (m *MemorySink) Runs() []*RunStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*RunStats(nil), m.runs...)
+}
+
+// JSONSink writes each completed run's RunStats to a writer as one
+// newline-terminated JSON document. Live events are not written.
+type JSONSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONSink returns a sink writing snapshots to w.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{w: w} }
+
+// Event implements Sink (no-op: only snapshots are serialized).
+func (j *JSONSink) Event(StageEvent) {}
+
+// Flush implements Sink.
+func (j *JSONSink) Flush(stats *RunStats) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	enc := json.NewEncoder(j.w)
+	return enc.Encode(stats)
+}
+
+// ExpvarSink publishes counter totals into an expvar.Map, the standard
+// library's process-metrics registry, so an embedding server can expose
+// discovery-run counters on /debug/vars. Counter values accumulate across
+// runs; "runs" counts completed analyses.
+type ExpvarSink struct {
+	m *expvar.Map
+}
+
+// NewExpvarSink publishes (or reuses) the named expvar map.
+func NewExpvarSink(name string) *ExpvarSink {
+	if v := expvar.Get(name); v != nil {
+		if m, ok := v.(*expvar.Map); ok {
+			return &ExpvarSink{m: m}
+		}
+	}
+	return &ExpvarSink{m: expvar.NewMap(name)}
+}
+
+// Event implements Sink (no-op).
+func (e *ExpvarSink) Event(StageEvent) {}
+
+// Flush implements Sink.
+func (e *ExpvarSink) Flush(stats *RunStats) error {
+	for name, v := range stats.Counters {
+		e.m.Add(name, int64(v))
+	}
+	e.m.Add("runs", 1)
+	return nil
+}

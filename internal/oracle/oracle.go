@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"crashresist/internal/mem"
+	"crashresist/internal/metrics"
 	"crashresist/internal/vm"
 )
 
@@ -61,6 +62,9 @@ type Stats struct {
 type Scanner struct {
 	Oracle Oracle
 	Stats  Stats
+	// Metrics, when set, mirrors probe counts into a run collector
+	// (CtrProbes / CtrProbesMapped). Nil disables mirroring.
+	Metrics *metrics.Collector
 }
 
 // NewScanner wraps an oracle.
@@ -69,6 +73,7 @@ func NewScanner(o Oracle) *Scanner { return &Scanner{Oracle: o} }
 // Probe tests one address, accumulating stats.
 func (s *Scanner) Probe(addr uint64) (ProbeResult, error) {
 	s.Stats.Probes++
+	s.Metrics.Add(metrics.CtrProbes, 1)
 	res, err := s.Oracle.Probe(addr)
 	if err != nil {
 		s.Stats.Crashes++
@@ -76,6 +81,7 @@ func (s *Scanner) Probe(addr uint64) (ProbeResult, error) {
 	}
 	if res == ProbeMapped {
 		s.Stats.Mapped++
+		s.Metrics.Add(metrics.CtrProbesMapped, 1)
 	}
 	return res, nil
 }

@@ -76,6 +76,34 @@ func (v Verdict) String() string {
 	}
 }
 
+// verdictTokens are the stable JSON wire names.
+var verdictTokens = map[Verdict]string{
+	VerdictAccepts: "accepts",
+	VerdictRejects: "rejects",
+	VerdictUnknown: "unknown",
+}
+
+// MarshalJSON encodes the verdict as a stable string token.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	tok, ok := verdictTokens[v]
+	if !ok {
+		return nil, fmt.Errorf("marshal: invalid verdict %d", uint8(v))
+	}
+	return []byte(`"` + tok + `"`), nil
+}
+
+// UnmarshalJSON decodes a verdict token.
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	for val, tok := range verdictTokens {
+		if s == `"`+tok+`"` {
+			*v = val
+			return nil
+		}
+	}
+	return fmt.Errorf("unmarshal: unknown verdict %s", s)
+}
+
 // Path is one terminal execution path of a filter.
 type Path struct {
 	Constraints []*solver.Expr

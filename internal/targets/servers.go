@@ -1,6 +1,13 @@
 package targets
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownServer is wrapped by ServerByName for unrecognized names, so
+// callers can match with errors.Is regardless of the formatted message.
+var ErrUnknownServer = errors.New("unknown server")
 
 // AllServers builds the five server targets of Table I in the paper's
 // column order.
@@ -28,5 +35,5 @@ func ServerByName(name string) (*Server, error) {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown server %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownServer, name)
 }

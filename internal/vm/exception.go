@@ -13,6 +13,9 @@ const filterBudget = 100_000
 // model, crashing the process if nothing handles it.
 func (p *Process) dispatchException(t *Thread, exc Exception) {
 	p.Stats.Faults++
+	if exc.Code == ExcAccessViolation && exc.Unmapped {
+		p.Stats.FaultsUnmapped++
+	}
 	if p.Tracer != nil {
 		p.Tracer.OnException(t, exc)
 	}

@@ -165,11 +165,23 @@ type Policy struct {
 
 // Stats aggregates process-level counters.
 type Stats struct {
-	Instructions  uint64
-	Faults        uint64 // exceptions raised
-	FaultsHandled uint64 // exceptions resolved by a handler
-	Syscalls      uint64
-	APICalls      uint64
+	Instructions   uint64
+	Faults         uint64 // exceptions raised
+	FaultsUnmapped uint64 // access violations on unmapped addresses
+	FaultsHandled  uint64 // exceptions resolved by a handler
+	Syscalls       uint64
+	APICalls       uint64
+}
+
+// Add accumulates another process's counters, e.g. when a pipeline sums
+// stats over many short-lived harness processes.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Faults += o.Faults
+	s.FaultsUnmapped += o.FaultsUnmapped
+	s.FaultsHandled += o.FaultsHandled
+	s.Syscalls += o.Syscalls
+	s.APICalls += o.APICalls
 }
 
 // CrashInfo records why a process died.

@@ -1,0 +1,210 @@
+package crashresist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestErrorSentinels(t *testing.T) {
+	if _, err := Server("nosuch"); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("Server(nosuch) = %v, want ErrUnknownServer", err)
+	}
+	if _, err := Server("nginx"); err != nil {
+		t.Errorf("Server(nginx) = %v", err)
+	}
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	srv, err := Server("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := AnalyzeServerContext(ctx, srv, 11); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeServerContext = %v, want context.Canceled", err)
+	}
+	br, err := IE(SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeBrowserAPIsContext(ctx, br, 12); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeBrowserAPIsContext = %v, want context.Canceled", err)
+	}
+	if _, err := AnalyzeBrowserSEHContext(ctx, br, 13); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeBrowserSEHContext = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("pre-cancelled runs took %v, want a prompt return", elapsed)
+	}
+}
+
+// TestContextCancelMidRun cancels a paper-scale SEH analysis from its own
+// progress stream and expects the pipeline to stop instead of finishing
+// the remaining stages.
+func TestContextCancelMidRun(t *testing.T) {
+	br, err := IE(PaperBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var ended atomic.Int32
+	rep, err := AnalyzeBrowserSEHContext(ctx, br, 13,
+		WithWorkers(4),
+		WithProgress(func(ev StageEvent) {
+			if ev.Kind == StageEnd {
+				ended.Add(1)
+			}
+			// Cancel as soon as the symbolic-execution stage starts; the
+			// cross-ref stage must never run to completion.
+			if ev.Stage == "symex" && ev.Kind == StageBegin {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeBrowserSEHContext = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Errorf("cancelled run returned a report")
+	}
+	if n := ended.Load(); n >= 4 {
+		t.Errorf("all %d stages ended despite cancellation", n)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	srv, err := Server("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysRep, err := AnalyzeServer(srv, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := IE(SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiRep, err := AnalyzeBrowserAPIs(br, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sehRep, err := AnalyzeBrowserSEH(br, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roundTrip := func(name string, in, out any) {
+		t.Helper()
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", name, err)
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s did not round-trip:\n in: %+v\nout: %+v", name, in, out)
+		}
+	}
+	roundTrip("SyscallReport", sysRep, &SyscallReport{})
+	roundTrip("APIFunnelReport", apiRep, &APIFunnelReport{})
+	roundTrip("SEHReport", sehRep, &SEHReport{})
+	roundTrip("RunStats", sysRep.Stats, &RunStats{})
+}
+
+func TestProgressEventsAndSinks(t *testing.T) {
+	srv, err := Server("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewMemorySink()
+	var events []StageEvent
+	rep, err := AnalyzeServer(srv, 11,
+		WithSink(sink),
+		WithProgress(func(ev StageEvent) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Stats == nil {
+		t.Fatal("report carries no RunStats")
+	}
+	if rep.Stats.Pipeline != "syscall" || rep.Stats.Target != "nginx" {
+		t.Errorf("stats identity = %s/%s", rep.Stats.Pipeline, rep.Stats.Target)
+	}
+	if rep.Stats.Counter(CtrInstructions) == 0 {
+		t.Error("no instructions counted")
+	}
+	if rep.Stats.Counter(CtrEFAULTReturns) == 0 {
+		t.Error("no EFAULT returns counted on a server with usable primitives")
+	}
+
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.Kind == StageEnd {
+			seen[ev.Stage] = true
+		}
+	}
+	for _, stage := range []string{"taint", "candidate", "validate"} {
+		if !seen[stage] {
+			t.Errorf("no end event for stage %q (events: %v)", stage, events)
+		}
+	}
+
+	runs := sink.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("sink flushed %d runs, want 1", len(runs))
+	}
+	if !reflect.DeepEqual(runs[0], rep.Stats) {
+		t.Errorf("sink snapshot differs from report stats")
+	}
+	if len(sink.Events()) == 0 {
+		t.Error("sink saw no stage events")
+	}
+}
+
+// TestStatsDeterministicCounters proves the determinism contract: counter
+// totals and stage job counts are identical at any worker count; only
+// wall-clock and shard splits may differ.
+func TestStatsDeterministicCounters(t *testing.T) {
+	br, err := IE(SmallBrowserParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize := func(st *RunStats) *RunStats {
+		cp := *st
+		cp.WallNS = 0
+		cp.Workers = 0
+		cp.Stages = append([]StageStats(nil), st.Stages...)
+		for i := range cp.Stages {
+			cp.Stages[i].WallNS = 0
+			cp.Stages[i].ShardTasks = nil
+		}
+		return &cp
+	}
+	var want *RunStats
+	for _, workers := range []int{1, 4} {
+		rep, err := AnalyzeBrowserSEH(br, 16, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := normalize(rep.Stats)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("normalized stats differ between worker counts:\n want: %+v\n  got: %+v", want, got)
+		}
+	}
+}
