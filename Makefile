@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race fuzz-short bench golden-update
+.PHONY: ci test race fuzz-short chaos bench golden-update
 
 # ci is the full gate run by .github/workflows/ci.yml.
 ci:
@@ -21,6 +21,12 @@ race:
 fuzz-short:
 	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=30s ./internal/isa
 	$(GO) test -fuzz=FuzzImageParse -fuzztime=30s ./internal/bin
+	$(GO) test -fuzz=FuzzScopeTableParse -fuzztime=30s ./internal/seh
+
+# chaos runs the full paper-scale fault-injection sweep under the race
+# detector; tier-1 (`make test`/`make race`) only runs the trimmed sweep.
+chaos:
+	CHAOS_SCALE=paper $(GO) test -race -run 'TestChaos|TestStageTimeout' -v .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x

@@ -33,8 +33,16 @@ func run() error {
 		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		format      = flag.String("format", "text", "output format: text or json")
 		showMetrics = flag.Bool("metrics", false, "print run stats to stderr")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
 	)
 	flag.Parse()
+
+	opts := []crashresist.Option{crashresist.WithWorkers(*workers)}
+	if *chaosSeed != 0 {
+		opts = append(opts,
+			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(*chaosSeed)),
+			crashresist.WithRetry(2))
+	}
 
 	switch *format {
 	case "text", "json":
@@ -56,7 +64,7 @@ func run() error {
 		if pl != "syscall" {
 			return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 		}
-		return runServer(*target, *seed, *workers, *format, *showMetrics)
+		return runServer(*target, *seed, opts, *format, *showMetrics)
 	}
 
 	params := crashresist.SmallBrowserParams()
@@ -78,7 +86,7 @@ func run() error {
 
 	switch pl {
 	case "api":
-		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed, crashresist.WithWorkers(*workers))
+		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -87,9 +95,10 @@ func run() error {
 			return printJSON(rep)
 		}
 		fmt.Println(crashresist.FormatFunnel(rep))
+		printDegraded(rep.Degraded)
 		return nil
 	case "seh":
-		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, crashresist.WithWorkers(*workers))
+		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, opts...)
 		if err != nil {
 			return err
 		}
@@ -120,18 +129,19 @@ func run() error {
 		pw := crashresist.PriorWork(rep)
 		fmt.Printf("\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
 			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
+		printDegraded(rep.Degraded)
 		return nil
 	default:
 		return fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
 	}
 }
 
-func runServer(name string, seed int64, workers int, format string, showMetrics bool) error {
+func runServer(name string, seed int64, opts []crashresist.Option, format string, showMetrics bool) error {
 	srv, err := crashresist.Server(name)
 	if err != nil {
 		return err
 	}
-	rep, err := crashresist.AnalyzeServer(srv, seed, crashresist.WithWorkers(workers))
+	rep, err := crashresist.AnalyzeServer(srv, seed, opts...)
 	if err != nil {
 		return err
 	}
@@ -150,7 +160,20 @@ func runServer(name string, seed int64, workers int, format string, showMetrics 
 			f.Syscall, f.ArgIndex, f.Provenance, f.TaintMask, f.Count, f.Status, f.Detail)
 	}
 	fmt.Printf("\nusable crash-resistant primitives: %v\n", rep.Usable())
+	printDegraded(rep.Degraded)
 	return nil
+}
+
+// printDegraded lists jobs dropped by graceful degradation. Prints nothing
+// for a clean run, so injection-off output is unchanged.
+func printDegraded(degraded []crashresist.Degraded) {
+	if len(degraded) == 0 {
+		return
+	}
+	fmt.Printf("\ndegraded jobs (%d):\n", len(degraded))
+	for _, d := range degraded {
+		fmt.Printf("  %-10s %-24s attempts=%d  %s\n", d.Stage, d.Key, d.Attempts, d.Err)
+	}
 }
 
 // printJSON writes an indented JSON report to stdout.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,21 +19,39 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		// The flag package already printed usage; keep its conventional
+		// exit code so all four CLIs agree on flag errors.
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errFlagParse) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "crprobe:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// errFlagParse marks a flag-parsing failure, whose message the flag
+// package has already written to stderr alongside the usage text.
+var errFlagParse = errors.New("flag parse error")
+
+// run is the whole command behind argument parsing, returning an error
+// (wrapping the crashresist sentinels where one applies) instead of
+// exiting, so tests can drive it directly.
+func run(args []string) error {
+	fs := flag.NewFlagSet("crprobe", flag.ContinueOnError)
 	var (
-		target   = flag.String("target", "ie", "ie|firefox|nginx|cherokee")
-		size     = flag.Uint64("size", 64*4096, "hidden region size in bytes")
-		window   = flag.Uint64("window", 64, "search window in multiples of the region size")
-		requests = flag.Int("requests", 50, "cherokee: requests per timing batch")
-		seed     = flag.Int64("seed", 42, "ASLR seed")
+		target   = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
+		size     = fs.Uint64("size", 64*4096, "hidden region size in bytes")
+		window   = fs.Uint64("window", 64, "search window in multiples of the region size")
+		requests = fs.Int("requests", 50, "cherokee: requests per timing batch")
+		seed     = fs.Int64("seed", 42, "ASLR seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
 
 	switch *target {
 	case "ie", "firefox":
@@ -42,7 +61,7 @@ func run() error {
 	case "cherokee":
 		return probeCherokee(*requests, *seed)
 	default:
-		return fmt.Errorf("unknown target %q", *target)
+		return fmt.Errorf("%w: unknown -target %q (want ie, firefox, nginx or cherokee)", crashresist.ErrBadParams, *target)
 	}
 }
 

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"crashresist"
+)
+
+// TestUnknownTarget checks that a bogus -target fails with a one-line error
+// wrapping the ErrBadParams sentinel (main turns that into exit code 1).
+func TestUnknownTarget(t *testing.T) {
+	err := run([]string{"-target", "bogus"})
+	if err == nil {
+		t.Fatal("run(-target bogus) succeeded, want error")
+	}
+	if !errors.Is(err, crashresist.ErrBadParams) {
+		t.Errorf("error %v does not wrap ErrBadParams", err)
+	}
+}
+
+// TestBadFlag checks that flag parse failures surface as errors marked for
+// the flag package's conventional exit code 2 rather than exiting in run.
+func TestBadFlag(t *testing.T) {
+	err := run([]string{"-no-such-flag"})
+	if err == nil {
+		t.Fatal("run(-no-such-flag) succeeded, want error")
+	}
+	if !errors.Is(err, errFlagParse) {
+		t.Errorf("error %v does not wrap errFlagParse", err)
+	}
+}
+
+// TestSmokeNginx runs the nginx proof of concept end to end: boot, plant a
+// hidden region, locate it through the oracle without crashes.
+func TestSmokeNginx(t *testing.T) {
+	if err := run([]string{"-target", "nginx"}); err != nil {
+		t.Fatalf("run(-target nginx): %v", err)
+	}
+}

@@ -36,15 +36,17 @@ func main() {
 		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		format      = flag.String("format", "text", "output format: text or json")
 		showMetrics = flag.Bool("metrics", false, "print per-run stats to stderr")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
 	)
 	flag.Parse()
 
 	cfg := config{
-		table:   *table,
-		scale:   *scale,
-		format:  *format,
-		seed:    *seed,
-		workers: *workers,
+		table:     *table,
+		scale:     *scale,
+		format:    *format,
+		seed:      *seed,
+		workers:   *workers,
+		chaosSeed: *chaosSeed,
 	}
 	if *showMetrics {
 		cfg.metricsW = os.Stderr
@@ -62,6 +64,10 @@ type config struct {
 	format  string
 	seed    int64
 	workers int
+	// chaosSeed, when non-zero, runs every pipeline under the default
+	// fault plan seeded with it, plus a retry budget; degraded jobs are
+	// rendered after the affected artifact.
+	chaosSeed int64
 	// metricsW receives each run's stats as text; nil suppresses them.
 	// Metrics never go to the artifact writer, keeping goldens stable.
 	metricsW io.Writer
@@ -122,6 +128,11 @@ func emit(w io.Writer, cfg config) error {
 
 	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
 	opts := []crashresist.Option{crashresist.WithWorkers(cfg.workers)}
+	if cfg.chaosSeed != 0 {
+		opts = append(opts,
+			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(cfg.chaosSeed)),
+			crashresist.WithRetry(2))
+	}
 
 	var doc document
 	var runs []*crashresist.RunStats
@@ -216,10 +227,14 @@ func renderText(w io.Writer, doc *document, table string) error {
 		for _, rep := range doc.TableI {
 			fmt.Fprintf(w, "%s usable: %v\n", rep.Server, rep.Usable())
 		}
+		for _, rep := range doc.TableI {
+			renderDegraded(w, "table1/"+rep.Server, rep.Degraded)
+		}
 		fmt.Fprintln(w)
 	}
 	if doc.Funnel != nil {
 		fmt.Fprintln(w, crashresist.FormatFunnel(doc.Funnel))
+		renderDegraded(w, "funnel", doc.Funnel.Degraded)
 	}
 	if doc.SEH != nil {
 		if want("2") {
@@ -228,6 +243,7 @@ func renderText(w io.Writer, doc *document, table string) error {
 		if want("3") {
 			fmt.Fprintln(w, crashresist.FormatTableIII(doc.SEH, crashresist.NamedDLLs()))
 		}
+		renderDegraded(w, "seh", doc.SEH.Degraded)
 	}
 	if doc.Prior != nil {
 		fmt.Fprintln(w, "§VII-A prior-primitive rediscovery")
@@ -248,6 +264,18 @@ func renderText(w io.Writer, doc *document, table string) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// renderDegraded lists an artifact's dropped jobs. Clean runs print
+// nothing, keeping the injection-off goldens byte-identical.
+func renderDegraded(w io.Writer, artifact string, degraded []crashresist.Degraded) {
+	if len(degraded) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s degraded jobs (%d):\n", artifact, len(degraded))
+	for _, d := range degraded {
+		fmt.Fprintf(w, "  %-10s %-24s attempts=%d  %s\n", d.Stage, d.Key, d.Attempts, d.Err)
+	}
 }
 
 // computeRates runs the §VII-C fault-rate experiment on Firefox.

@@ -34,9 +34,11 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 
 	"crashresist/internal/defense"
 	"crashresist/internal/discover"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
 	"crashresist/internal/oracle"
 	"crashresist/internal/targets"
@@ -56,6 +58,12 @@ var (
 	// ErrBadParams is returned (wrapped) for invalid analysis parameters,
 	// e.g. an unrecognized corpus scale.
 	ErrBadParams = errors.New("bad parameters")
+	// ErrDegraded marks a pipeline result that is partial because one or
+	// more jobs exhausted their retry budget (see WithFaultPlan/WithRetry).
+	ErrDegraded = discover.ErrDegraded
+	// ErrInjectedFault is the root sentinel of every error produced by a
+	// fault plan; errors.Is matches it through any wrapping.
+	ErrInjectedFault = faultinject.ErrInjected
 )
 
 // Target construction.
@@ -98,6 +106,28 @@ type (
 	PriorWorkFindings = discover.PriorWorkFindings
 )
 
+// Fault injection & graceful degradation (see DESIGN.md §8).
+type (
+	// FaultPlan is a deterministic, seed-driven fault injection plan.
+	// Attach one with WithFaultPlan to run an analysis in chaos mode.
+	FaultPlan = faultinject.Plan
+	// FaultSite names an injection point (vm.load, kernel.syscall, ...).
+	FaultSite = faultinject.Site
+	// FaultSiteConfig tunes one site's rate, mode and try budget.
+	FaultSiteConfig = faultinject.SiteConfig
+	// Degraded records one job dropped from a report after exhausting its
+	// retry budget; reports carry these in their Degraded field.
+	Degraded = discover.Degraded
+)
+
+// NewFaultPlan returns an empty plan seeded with seed; enable sites with
+// its Enable method.
+func NewFaultPlan(seed int64) *FaultPlan { return faultinject.New(seed) }
+
+// DefaultFaultPlan returns a plan with every injection site enabled at
+// rates tuned for paper-scale chaos runs.
+func DefaultFaultPlan(seed int64) *FaultPlan { return faultinject.Default(seed) }
+
 // Observability layer (see DESIGN.md §7).
 type (
 	// RunStats is the per-run observability record attached to every
@@ -134,6 +164,10 @@ const (
 	CtrSymexCacheMisses      = metrics.CtrSymexCacheMisses
 	CtrSymexCacheUncacheable = metrics.CtrSymexCacheUncacheable
 	CtrPoolTasks             = metrics.CtrPoolTasks
+	CtrFaultsInjected        = metrics.CtrFaultsInjected
+	CtrRetries               = metrics.CtrRetries
+	CtrBackoffTicks          = metrics.CtrBackoffTicks
+	CtrDegraded              = metrics.CtrDegraded
 )
 
 // Stage event kinds.
@@ -223,9 +257,12 @@ func SmallBrowserParams() BrowserParams { return targets.SmallBrowserParams() }
 type Option func(*options)
 
 type options struct {
-	workers  int
-	progress func(StageEvent)
-	sinks    []MetricSink
+	workers      int
+	progress     func(StageEvent)
+	sinks        []MetricSink
+	plan         *FaultPlan
+	retries      int
+	stageTimeout time.Duration
 }
 
 // WithWorkers bounds an analysis's worker pool. Values <= 0 (and omitting
@@ -249,6 +286,31 @@ func WithSink(s MetricSink) Option {
 	return func(o *options) { o.sinks = append(o.sinks, s) }
 }
 
+// WithFaultPlan attaches a deterministic fault injection plan to the run
+// (chaos mode). Injected failures ride the normal error paths; combined
+// with WithRetry the pipelines degrade gracefully, recording dropped jobs
+// in the report's Degraded field instead of aborting. For a fixed plan
+// seed the degraded set is identical at every worker count.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(o *options) { o.plan = p }
+}
+
+// WithRetry bounds per-job re-runs after a transient failure (n retries
+// after the first attempt). Setting a retry budget — or any fault plan —
+// switches job failures from aborting the analysis to degrading it.
+// Backoff between attempts is virtual: deterministic ticks are counted in
+// CtrBackoffTicks, no wall-clock sleeping happens.
+func WithRetry(n int) Option {
+	return func(o *options) { o.retries = n }
+}
+
+// WithStageTimeout bounds each fanned-out pipeline stage; a stage that
+// exceeds d is cancelled and the analysis returns a context error. Zero
+// (and omitting the option) means no limit.
+func WithStageTimeout(d time.Duration) Option {
+	return func(o *options) { o.stageTimeout = d }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -269,7 +331,10 @@ func buildOptions(opts []Option) options {
 }
 
 func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
-	return &discover.SyscallAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
+	return &discover.SyscallAnalyzer{
+		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
+		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+	}
 }
 
 // AnalyzeServer runs the Linux syscall pipeline against one server target.
@@ -306,7 +371,10 @@ func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64, opts ...Option) (*APIFunn
 // classification job.
 func AnalyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
 	o := buildOptions(opts)
-	a := &discover.APIAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
+	a := &discover.APIAnalyzer{
+		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
+		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+	}
 	return a.AnalyzeContext(ctx, br)
 }
 
@@ -320,7 +388,10 @@ func AnalyzeBrowserSEH(br *BrowserTarget, seed int64, opts ...Option) (*SEHRepor
 // pipeline checks ctx between stages and before each per-DLL symex job.
 func AnalyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
 	o := buildOptions(opts)
-	a := &discover.SEHAnalyzer{Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks}
+	a := &discover.SEHAnalyzer{
+		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
+		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+	}
 	return a.AnalyzeContext(ctx, br)
 }
 

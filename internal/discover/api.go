@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"crashresist/internal/faultinject"
 	"crashresist/internal/fuzz"
 	"crashresist/internal/isa"
 	"crashresist/internal/metrics"
@@ -112,6 +114,9 @@ type APIFunnelReport struct {
 	Classifications []APIClassification `json:"classifications,omitempty"`
 	// Stats is the run's observability record (never rendered in tables).
 	Stats *metrics.RunStats `json:"stats,omitempty"`
+	// Degraded lists jobs dropped after exhausting their retry budget;
+	// empty unless a fault plan or retry budget is configured.
+	Degraded []Degraded `json:"degraded,omitempty"`
 }
 
 // APIAnalyzer drives the Windows-API pipeline against a browser target.
@@ -127,6 +132,15 @@ type APIAnalyzer struct {
 	Progress func(metrics.StageEvent)
 	// Sinks receive the run's live events and final RunStats.
 	Sinks []metrics.Sink
+	// FaultPlan, when non-nil, injects deterministic failures into the
+	// harness processes, browse runs and pool-job sites (chaos mode).
+	FaultPlan *faultinject.Plan
+	// Retries bounds per-job re-runs after a transient failure; setting
+	// Retries (or FaultPlan) switches failed jobs from aborting the run
+	// to degrading into Report.Degraded.
+	Retries int
+	// StageTimeout bounds each fanned-out stage; zero means no limit.
+	StageTimeout time.Duration
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
@@ -148,6 +162,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		invalid = InvalidProbeAddr
 	}
 	col := newRunCollector("api", br.Name, a.Workers, a.Progress, a.Sinks)
+	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -162,6 +177,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		return nil, err
 	}
 	fz := fuzz.New(reg, a.Seed)
+	fz.FaultPlan = a.FaultPlan
 	var ptrAPIs []*winapi.Descriptor
 	for _, d := range reg.All() {
 		if d.HasPointerArg() {
@@ -173,25 +189,31 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// Stage 2-3: black-box fuzzing of the corpus, sharded per descriptor.
 	results := make([]fuzz.FuncResult, len(ptrAPIs))
 	span = col.StartStage("fuzz", len(ptrAPIs))
-	err = runIndexed(ctx, a.Workers, len(ptrAPIs), span, func(i int) error {
-		res, err := fz.FuzzOne(ptrAPIs[i])
-		if err != nil {
-			return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
-		}
-		col.Add(metrics.CtrProbes, uint64(len(res.Probes)))
-		harvestVMStats(col, res.Stats)
-		results[i] = res
-		return nil
+	fctx, cancel := stageCtx(ctx, a.StageTimeout)
+	err = runIndexed(fctx, a.Workers, len(ptrAPIs), span, func(i int) error {
+		return res.run(fctx, "fuzz", ptrAPIs[i].Name, i, func(int) error {
+			fres, err := fz.FuzzOne(ptrAPIs[i])
+			if err != nil {
+				return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
+			}
+			col.Add(metrics.CtrProbes, uint64(len(fres.Probes)))
+			harvestVMStats(col, fres.Stats)
+			results[i] = fres
+			return nil
+		})
 	})
+	cancel()
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("fuzz corpus: %w", err)
 	}
+	// A degraded fuzz slot keeps its zero FuncResult, i.e. the API is
+	// conservatively treated as not crash-resistant.
 	resistant := make(map[string]bool)
 	crashResistant := 0
-	for _, res := range results {
-		if res.CrashResistant {
-			resistant[res.Name] = true
+	for _, fres := range results {
+		if fres.CrashResistant {
+			resistant[fres.Name] = true
 			crashResistant++
 		}
 	}
@@ -210,10 +232,27 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// Stage 4-5: instrumented browse — call-site harvesting and context
 	// tagging.
 	span = col.StartStage("harvest", 0)
-	obs, err := a.observeBrowse(br, col)
+	var obs *browseObservation
+	err = res.run(ctx, "harvest", br.Name, 0, func(int) error {
+		o, err := a.observeBrowse(br, col)
+		if err != nil {
+			return err
+		}
+		obs = o
+		return nil
+	})
 	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("browse %s: %w", br.Name, err)
+	}
+	// A degraded harvest behaves like a browse that called nothing: the
+	// funnel narrows to zero past the fuzzing stage.
+	if obs == nil {
+		obs = &browseObservation{
+			called: make(map[string]bool),
+			fromJS: make(map[string]bool),
+			args:   make(map[string]argObservation),
+		}
 	}
 	for name := range obs.called {
 		if resistant[name] {
@@ -230,26 +269,37 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 
 	// Stage 6: pointer-argument controllability for the JS-context set,
 	// one corrupted-replay environment per API.
-	report.Classifications = make([]APIClassification, len(report.JSContextAPIs))
+	classifications := make([]APIClassification, len(report.JSContextAPIs))
 	span = col.StartStage("classify", len(report.JSContextAPIs))
-	err = runIndexed(ctx, a.Workers, len(report.JSContextAPIs), span, func(i int) error {
+	cctx, cancel2 := stageCtx(ctx, a.StageTimeout)
+	err = runIndexed(cctx, a.Workers, len(report.JSContextAPIs), span, func(i int) error {
 		api := report.JSContextAPIs[i]
-		cls, err := a.classify(br, api, obs.args[api], invalid, col)
-		if err != nil {
-			return fmt.Errorf("classify %s: %w", api, err)
-		}
-		report.Classifications[i] = cls
-		return nil
+		return res.run(cctx, "classify", api, i, func(int) error {
+			cls, err := a.classify(br, api, obs.args[api], invalid, col)
+			if err != nil {
+				return fmt.Errorf("classify %s: %w", api, err)
+			}
+			classifications[i] = cls
+			return nil
+		})
 	})
+	cancel2()
 	span.End()
 	if err != nil {
 		return nil, err
 	}
-	for _, cls := range report.Classifications {
+	// Degraded classify slots hold the zero value, whose invalid Reason
+	// cannot marshal — compact them out (their APIs appear in Degraded).
+	for _, cls := range classifications {
+		if cls.Reason == 0 {
+			continue
+		}
+		report.Classifications = append(report.Classifications, cls)
 		if cls.Reason == ReasonControllable {
 			report.Controllable++
 		}
 	}
+	report.Degraded = res.take()
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)
@@ -323,6 +373,7 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector)
 	if err != nil {
 		return nil, err
 	}
+	env.Proc.FaultPlan = a.FaultPlan
 	te := taint.New()
 	te.Attach(env.Proc)
 
@@ -372,6 +423,7 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 	if err != nil {
 		return cls, err
 	}
+	env.Proc.FaultPlan = a.FaultPlan
 	defer func() { harvestVMStats(col, env.Proc.Stats) }()
 	te := taint.New()
 	cor := &corruptingFlow{inner: te, as: env.Proc.AS, target: obs.prov, value: invalid}

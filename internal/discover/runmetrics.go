@@ -32,11 +32,13 @@ func harvestVMStats(col *metrics.Collector, s vm.Stats) {
 	col.Add(metrics.CtrFaultsHandled, s.FaultsHandled)
 	col.Add(metrics.CtrSyscalls, s.Syscalls)
 	col.Add(metrics.CtrAPICalls, s.APICalls)
+	col.Add(metrics.CtrFaultsInjected, s.FaultsInjected)
 }
 
 // harvestKernelCounts mirrors a kernel model's dispatch counters.
 func harvestKernelCounts(col *metrics.Collector, c kernel.Counts) {
 	col.Add(metrics.CtrEFAULTReturns, c.EFAULTReturns)
+	col.Add(metrics.CtrFaultsInjected, c.Injected)
 }
 
 // harvestCacheStats mirrors the symex cache counters.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
 	"crashresist/internal/seh"
 	"crashresist/internal/sym"
@@ -66,6 +68,9 @@ type SEHReport struct {
 	VEHFindings []VEHFinding `json:"veh_findings,omitempty"`
 	// Stats is the run's observability record (never rendered in tables).
 	Stats *metrics.RunStats `json:"stats,omitempty"`
+	// Degraded lists jobs dropped after exhausting their retry budget;
+	// empty unless a fault plan or retry budget is configured.
+	Degraded []Degraded `json:"degraded,omitempty"`
 }
 
 // Row returns the module row by name.
@@ -88,6 +93,15 @@ type SEHAnalyzer struct {
 	Progress func(metrics.StageEvent)
 	// Sinks receive the run's live events and final RunStats.
 	Sinks []metrics.Sink
+	// FaultPlan, when non-nil, injects deterministic failures into the
+	// browse run, the symbolic executors and the pool-job sites.
+	FaultPlan *faultinject.Plan
+	// Retries bounds per-job re-runs after a transient failure; setting
+	// Retries (or FaultPlan) switches failed jobs from aborting the run
+	// to degrading into Report.Degraded.
+	Retries int
+	// StageTimeout bounds the symex fan-out; zero means no limit.
+	StageTimeout time.Duration
 
 	// CacheStats holds the symex cache counters of the last Analyze call.
 	CacheStats sym.CacheStats
@@ -116,44 +130,60 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 // any worker count.
 func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*SEHReport, error) {
 	col := newRunCollector("seh", br.Name, a.Workers, a.Progress, a.Sinks)
+	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Stage 1: instrumented browse for coverage, plus the run-time VEH
-	// census and the §VII-A registration scan.
+	// census and the §VII-A registration scan. Each retry rebuilds the
+	// environment from scratch (same seed, same layout).
 	span := col.StartStage("browse", 0)
-	env, err := br.NewEnv(a.Seed)
-	if err != nil {
-		span.End()
-		return nil, err
-	}
-	rec := trace.NewRecorder()
-	rec.EnableCoverage()
-	rec.Attach(env.Proc)
+	var (
+		env  *targets.BrowserEnv
+		hits map[trace.ScopeKey]uint64
+	)
+	err := res.run(ctx, "browse", br.Name, 0, func(int) error {
+		e, err := br.NewEnv(a.Seed)
+		if err != nil {
+			return err
+		}
+		e.Proc.FaultPlan = a.FaultPlan
+		rec := trace.NewRecorder()
+		rec.EnableCoverage()
+		rec.Attach(e.Proc)
 
-	if err := env.Start(); err != nil {
-		span.End()
-		return nil, err
-	}
-	browseErr := env.Browse()
-	harvestVMStats(col, env.Proc.Stats)
+		if err := e.Start(); err != nil {
+			return err
+		}
+		browseErr := e.Browse()
+		harvestVMStats(col, e.Proc.Stats)
+		if browseErr != nil {
+			return browseErr
+		}
+		env, hits = e, rec.ScopeHits()
+		return nil
+	})
 	span.End()
-	if browseErr != nil {
-		return nil, fmt.Errorf("browse: %w", browseErr)
+	if err != nil {
+		return nil, fmt.Errorf("browse: %w", err)
 	}
-	hits := rec.ScopeHits()
 
-	report := &SEHReport{Browser: br.Name, VEHRegistered: len(env.Proc.VEHandlers())}
-	report.VEHFindings = VEHScan(env.Proc)
+	report := &SEHReport{Browser: br.Name}
 
 	// The paper's per-DLL analysis covers libraries; the executable
-	// itself carries no scope tables here.
+	// itself carries no scope tables here. A degraded browse leaves no
+	// environment: the report keeps its totals at zero and records the
+	// loss in Degraded.
 	var libs []string
-	for _, mod := range env.Proc.Modules() {
-		if mod.Image.Kind == bin.KindLibrary {
-			libs = append(libs, mod.Image.Name)
+	if env != nil {
+		report.VEHRegistered = len(env.Proc.VEHandlers())
+		report.VEHFindings = VEHScan(env.Proc)
+		for _, mod := range env.Proc.Modules() {
+			if mod.Image.Kind == bin.KindLibrary {
+				libs = append(libs, mod.Image.Name)
+			}
 		}
 	}
 	report.TotalModules = len(libs)
@@ -190,8 +220,10 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// DLL with private worker environments and a shared memoizing cache.
 	cache := sym.NewCache()
 	symex := make([]sehSymexResult, len(libs))
+	symexOK := make([]bool, len(libs))
 	span = col.StartStage("symex", len(work))
-	err = runSharded(ctx, a.Workers, len(work), span,
+	sctx, cancel := stageCtx(ctx, a.StageTimeout)
+	err = runSharded(sctx, a.Workers, len(work), span,
 		func() (*sym.Executor, error) {
 			wenv, err := br.NewEnv(a.Seed)
 			if err != nil {
@@ -199,17 +231,27 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			}
 			exec := sym.NewExecutor(wenv.Proc)
 			exec.Cache = cache
+			exec.FaultPlan = a.FaultPlan
 			return exec, nil
 		},
 		func(exec *sym.Executor, w int) error {
 			i := work[w]
-			mod, ok := exec.Proc().Module(libs[i])
-			if !ok {
-				return fmt.Errorf("module %s missing from worker environment", libs[i])
-			}
-			symex[i] = classifyModuleFilters(exec, mod, invs[i])
-			return nil
+			return res.run(sctx, "symex", libs[i], i, func(attempt int) error {
+				exec.FaultAttempt = attempt
+				mod, ok := exec.Proc().Module(libs[i])
+				if !ok {
+					return fmt.Errorf("module %s missing from worker environment", libs[i])
+				}
+				sx, err := classifyModuleFilters(exec, mod, invs[i])
+				if err != nil {
+					return err
+				}
+				symex[i] = sx
+				symexOK[i] = true
+				return nil
+			})
 		})
+	cancel()
 	span.End()
 	if err != nil {
 		return nil, err
@@ -225,6 +267,9 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// sequentially in module load order.
 	span = col.StartStage("cross-ref", len(work))
 	for _, i := range work {
+		if !symexOK[i] {
+			continue // degraded module: no row, recorded in Degraded
+		}
 		row, cands, triggers := crossRefModuleSEH(libs[i], invs[i], symex[i], hits)
 		report.Modules = append(report.Modules, row)
 		report.Candidates = append(report.Candidates, cands...)
@@ -248,6 +293,7 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		return report.Candidates[i].Scope < report.Candidates[j].Scope
 	})
 	sort.Strings(report.UnknownFilterModules)
+	report.Degraded = res.take()
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)
@@ -258,11 +304,16 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 
 // classifyModuleFilters symbolically executes each unique filter of one
 // module. It reads only the module, the inventory and the executor's own
-// process, so module jobs are independent.
-func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleInventory) sehSymexResult {
+// process, so module jobs are independent. With a fault plan attached to
+// the executor an analysis may fail with an injected error, aborting the
+// module so the whole unit can retry or degrade atomically.
+func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleInventory) (sehSymexResult, error) {
 	res := sehSymexResult{verdicts: make(map[uint32]sym.Verdict, len(inv.Filters))}
 	for _, f := range inv.Filters {
-		rep := exec.AnalyzeFilterIn(mod, f)
+		rep, err := exec.TryAnalyzeFilterIn(mod, f)
+		if err != nil {
+			return sehSymexResult{}, err
+		}
 		res.verdicts[f] = rep.Verdict
 		switch rep.Verdict {
 		case sym.VerdictAccepts:
@@ -271,7 +322,7 @@ func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleIn
 			res.unknownFilters++
 		}
 	}
-	return res
+	return res, nil
 }
 
 // crossRefModuleSEH builds one module's table row from its inventory,

@@ -21,7 +21,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 	"crashresist/internal/kernel"
 	"crashresist/internal/mem"
@@ -164,6 +166,9 @@ type SyscallReport struct {
 	// Stats is the run's observability record. It never feeds table
 	// rendering, so report formatting stays byte-identical.
 	Stats *metrics.RunStats `json:"stats,omitempty"`
+	// Degraded lists jobs dropped after exhausting their retry budget;
+	// empty unless a fault plan or retry budget is configured.
+	Degraded []Degraded `json:"degraded,omitempty"`
 }
 
 // Usable returns the names of syscalls classified usable.
@@ -196,6 +201,16 @@ type SyscallAnalyzer struct {
 	Progress func(metrics.StageEvent)
 	// Sinks receive each run's live events and final RunStats.
 	Sinks []metrics.Sink
+	// FaultPlan, when non-nil, injects deterministic failures into the
+	// run's VM, kernel and pool-job sites (chaos mode).
+	FaultPlan *faultinject.Plan
+	// Retries bounds per-job re-runs after a transient failure. Setting
+	// Retries (or FaultPlan) switches failed jobs from aborting the run
+	// to degrading: they are dropped and recorded in Report.Degraded.
+	Retries int
+	// StageTimeout bounds each fanned-out stage; zero means no limit. A
+	// timeout cancels the stage and surfaces as a context error.
+	StageTimeout time.Duration
 }
 
 // AnalyzeAll runs the pipeline for every server, fanning the servers out
@@ -239,13 +254,31 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		invalid = InvalidProbeAddr
 	}
 	col := newRunCollector("syscall", srv.Name, a.Workers, a.Progress, a.Sinks)
+	res := newResilience(srv.Name, a.FaultPlan, a.Retries, col)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	observed, candidates, err := a.observe(srv, col)
+	var (
+		observed   map[string]bool
+		candidates []Candidate
+	)
+	err := res.run(ctx, "observe", srv.Name, 0, func(int) error {
+		o, c, err := a.observe(srv, col)
+		if err != nil {
+			return err
+		}
+		observed, candidates = o, c
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("observe %s: %w", srv.Name, err)
+	}
+	// A degraded observation run behaves like a server that never booted:
+	// every EFAULT-capable syscall stays not-observed.
+	if observed == nil {
+		observed = make(map[string]bool)
+		candidates = nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -268,19 +301,28 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 
 	findings := make([]Finding, len(candidates))
 	span := col.StartStage("validate", len(candidates))
-	err = runIndexed(ctx, a.Workers, len(candidates), span, func(i int) error {
-		finding, err := a.validate(srv, candidates[i], invalid, col)
-		if err != nil {
-			return fmt.Errorf("validate %s/%s: %w", srv.Name, candidates[i].Syscall, err)
-		}
-		findings[i] = finding
-		return nil
+	vctx, cancel := stageCtx(ctx, a.StageTimeout)
+	err = runIndexed(vctx, a.Workers, len(candidates), span, func(i int) error {
+		cand := candidates[i]
+		jobKey := fmt.Sprintf("%s/%d", cand.Syscall, cand.ArgIndex)
+		return res.run(vctx, "validate", jobKey, i, func(int) error {
+			finding, err := a.validate(srv, cand, invalid, col)
+			if err != nil {
+				return fmt.Errorf("validate %s/%s: %w", srv.Name, cand.Syscall, err)
+			}
+			findings[i] = finding
+			return nil
+		})
 	})
+	cancel()
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	for _, finding := range findings {
+		if finding.Status == 0 {
+			continue // degraded slot: candidate dropped from the report
+		}
 		report.Findings = append(report.Findings, finding)
 		if finding.Status > report.Status[finding.Syscall] {
 			report.Status[finding.Syscall] = finding.Status
@@ -299,6 +341,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		}
 		return report.Findings[i].ArgIndex < report.Findings[j].ArgIndex
 	})
+	report.Degraded = res.take()
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", srv.Name, err)
@@ -315,6 +358,8 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 	if err != nil {
 		return nil, nil, err
 	}
+	env.Proc.FaultPlan = a.FaultPlan
+	env.Kern.SetFaultPlan(a.FaultPlan)
 
 	observed := make(map[string]bool)
 	candByKey := make(map[string]*Candidate)
@@ -391,6 +436,8 @@ func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid 
 	if err != nil {
 		return Finding{}, err
 	}
+	env.Proc.FaultPlan = a.FaultPlan
+	env.Kern.SetFaultPlan(a.FaultPlan)
 	defer func() {
 		harvestVMStats(col, env.Proc.Stats)
 		harvestKernelCounts(col, env.Kern.Counts())

@@ -1,0 +1,302 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// for the discovery pipelines — the chaos-engineering half of the paper's
+// own thesis. The paper's primitives survive faults in the *analyzed*
+// process; this package injects faults into the *analyzing* system (the
+// emulator, the kernel model, the symbolic executor, the worker pool) so
+// the resilience machinery in internal/discover can be exercised and
+// regression-tested.
+//
+// Every injection decision is a pure function of (plan seed, site, key,
+// attempt): no internal state, no clocks, no randomness at decision time.
+// Two consequences follow. First, a run with a given plan is reproducible
+// bit-for-bit — the same faults fire at the same keys no matter how many
+// pool workers raced over the jobs. Second, retry semantics need no shared
+// counters: a transient fault at key K simply keeps failing while
+// attempt < tries(K), so the retry loop passes the attempt number in and
+// shared-state races cannot arise.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Site names one injection point in the system. Sites are stable wire
+// strings; plans enable any subset.
+type Site string
+
+// Injection sites.
+const (
+	// SiteVMLoad injects an unmapped access violation at a memory load,
+	// keyed by the process's virtual clock.
+	SiteVMLoad Site = "vm.load"
+	// SiteVMStore injects an unmapped access violation at a memory store.
+	SiteVMStore Site = "vm.store"
+	// SiteVMDispatch makes exception dispatch itself fail: the process
+	// crashes as if no handler machinery existed.
+	SiteVMDispatch Site = "vm.dispatch"
+	// SiteKernelSyscall makes a syscall return an error instead of
+	// running: -EAGAIN for transient plans, -EIO for permanent ones.
+	SiteKernelSyscall Site = "kernel.syscall"
+	// SiteSymFilter fails a symbolic filter analysis with a host-level
+	// error, exercising shard retry and degradation.
+	SiteSymFilter Site = "sym.filter"
+	// SitePoolJob fails a discovery-pool job before it runs.
+	SitePoolJob Site = "pool.job"
+)
+
+// Sites lists every known site in stable order.
+func Sites() []Site {
+	return []Site{SiteVMLoad, SiteVMStore, SiteVMDispatch, SiteKernelSyscall, SiteSymFilter, SitePoolJob}
+}
+
+// Mode distinguishes faults that clear on retry from ones that never do.
+type Mode uint8
+
+// Modes.
+const (
+	// ModeTransient faults fail the first tries(key) attempts and then
+	// succeed — the class bounded retry is designed to absorb.
+	ModeTransient Mode = iota + 1
+	// ModePermanent faults fail every attempt; only degradation helps.
+	ModePermanent
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeTransient:
+		return "transient"
+	case ModePermanent:
+		return "permanent"
+	default:
+		return "mode?"
+	}
+}
+
+// SiteConfig parameterizes injection at one site.
+type SiteConfig struct {
+	// Rate is the per-key injection probability in [0, 1].
+	Rate float64
+	// Mode selects transient or permanent faults.
+	Mode Mode
+	// Tries bounds how many attempts a transient fault fails: each
+	// selected key draws tries uniformly from [1, Tries] (derived from
+	// the same hash, so it is deterministic per key). Zero means 1.
+	// Ignored for permanent faults.
+	Tries int
+}
+
+// Plan is an immutable-after-build fault plan. Configure with Enable, then
+// share freely: decision methods are pure hashes plus per-site atomic
+// counters, safe for concurrent use. A nil *Plan is a valid no-op receiver
+// for every decision method.
+type Plan struct {
+	seed  int64
+	sites map[Site]SiteConfig
+	// injected counts fired injections per site, indexed as Sites().
+	injected [6]atomic.Uint64
+}
+
+// New returns an empty plan (no sites enabled) for the seed.
+func New(seed int64) *Plan {
+	return &Plan{seed: seed, sites: make(map[Site]SiteConfig)}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Enable turns on injection at a site. Not safe concurrently with decision
+// methods; configure before sharing.
+func (p *Plan) Enable(site Site, cfg SiteConfig) *Plan {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeTransient
+	}
+	if cfg.Tries <= 0 {
+		cfg.Tries = 1
+	}
+	p.sites[site] = cfg
+	return p
+}
+
+// Default is the plan behind the CLIs' -chaos-seed flag: moderate rates at
+// every site, mixing transient faults (absorbed by retry) with permanent
+// ones (surfaced as Degraded records).
+func Default(seed int64) *Plan {
+	p := New(seed)
+	p.Enable(SiteVMLoad, SiteConfig{Rate: 1e-7, Mode: ModeTransient, Tries: 2})
+	p.Enable(SiteVMStore, SiteConfig{Rate: 1e-7, Mode: ModeTransient, Tries: 2})
+	p.Enable(SiteVMDispatch, SiteConfig{Rate: 1e-3, Mode: ModePermanent})
+	p.Enable(SiteKernelSyscall, SiteConfig{Rate: 5e-4, Mode: ModeTransient, Tries: 1})
+	p.Enable(SiteSymFilter, SiteConfig{Rate: 5e-3, Mode: ModeTransient, Tries: 4})
+	p.Enable(SitePoolJob, SiteConfig{Rate: 5e-2, Mode: ModeTransient, Tries: 4})
+	return p
+}
+
+// siteIndex maps a site to its stats slot; -1 for unknown sites.
+func siteIndex(site Site) int {
+	for i, s := range Sites() {
+		if s == site {
+			return i
+		}
+	}
+	return -1
+}
+
+// decide is the single source of truth: whether the (site, key) pair is
+// selected for injection, and with what per-key try budget.
+func (p *Plan) decide(site Site, key uint64) (cfg SiteConfig, tries int, selected bool) {
+	if p == nil {
+		return SiteConfig{}, 0, false
+	}
+	cfg, ok := p.sites[site]
+	if !ok || cfg.Rate <= 0 {
+		return SiteConfig{}, 0, false
+	}
+	h := mix(uint64(p.seed), siteHash(site), key)
+	// Compare the top 53 bits against the rate threshold; float64 holds
+	// 53-bit integers exactly, so the comparison is deterministic.
+	if float64(h>>11) >= cfg.Rate*float64(1<<53) {
+		return SiteConfig{}, 0, false
+	}
+	tries = 1
+	if cfg.Mode == ModeTransient && cfg.Tries > 1 {
+		// Derive the per-key try budget from an independent bit span of
+		// the same hash.
+		tries = 1 + int((h>>7)%uint64(cfg.Tries))
+	}
+	return cfg, tries, true
+}
+
+// Should reports whether an injection fires at (site, key) on the first
+// attempt, counting it when it does. This is the zero-attempt entry point
+// for layers with no retry loop (the emulator, the kernel model).
+func (p *Plan) Should(site Site, key uint64) bool {
+	_, _, sel := p.decide(site, key)
+	if sel {
+		p.count(site)
+	}
+	return sel
+}
+
+// FaultAt returns the fault firing at (site, key) on the first attempt, or
+// nil. Unlike Should it hands the caller the mode, so error-mapping layers
+// (the kernel) can pick transient versus permanent semantics.
+func (p *Plan) FaultAt(site Site, key uint64) *Fault {
+	cfg, _, sel := p.decide(site, key)
+	if !sel {
+		return nil
+	}
+	p.count(site)
+	return &Fault{Site: site, Key: key, Mode: cfg.Mode}
+}
+
+// ErrAttempt returns the injected error for the given attempt, or nil when
+// no fault fires (not selected, or a transient fault's try budget is
+// exhausted). Retry loops call it with attempt 0, 1, 2, ...; transient
+// faults clear once attempt reaches the key's derived try budget.
+func (p *Plan) ErrAttempt(site Site, key uint64, attempt int) error {
+	cfg, tries, sel := p.decide(site, key)
+	if !sel {
+		return nil
+	}
+	if cfg.Mode == ModeTransient && attempt >= tries {
+		return nil
+	}
+	p.count(site)
+	return &Fault{Site: site, Key: key, Attempt: attempt, Mode: cfg.Mode}
+}
+
+func (p *Plan) count(site Site) {
+	if i := siteIndex(site); i >= 0 {
+		p.injected[i].Add(1)
+	}
+}
+
+// Stats snapshots the per-site injection counts.
+func (p *Plan) Stats() map[Site]uint64 {
+	out := make(map[Site]uint64)
+	if p == nil {
+		return out
+	}
+	for i, s := range Sites() {
+		if n := p.injected[i].Load(); n > 0 {
+			out[s] = n
+		}
+	}
+	return out
+}
+
+// ErrInjected is the sentinel every injected *Fault matches via errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Fault is one injected failure.
+type Fault struct {
+	Site    Site
+	Key     uint64
+	Attempt int
+	Mode    Mode
+}
+
+// Error implements error. The message is a pure function of the fault's
+// fields, so degraded-shard records stay deterministic.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected %s fault at %s key %#x attempt %d", f.Mode, f.Site, f.Key, f.Attempt)
+}
+
+// Transient reports whether retrying can clear the fault.
+func (f *Fault) Transient() bool { return f.Mode == ModeTransient }
+
+// Is matches ErrInjected.
+func (f *Fault) Is(target error) bool { return target == ErrInjected }
+
+// IsTransient reports whether err (anywhere in its chain) declares itself
+// retryable via a `Transient() bool` method.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok {
+			return t.Transient()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// Key builds a run-unique 64-bit key from string parts (FNV-1a). Pipelines
+// key pool-level injections by (target, stage, job) so concurrent analyses
+// sharing one plan draw independent faults.
+func Key(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, s := range parts {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// siteHash folds a site name into the decision hash.
+func siteHash(site Site) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return h.Sum64()
+}
+
+// mix is splitmix64 over the xor-folded inputs — cheap, stateless, and
+// well-distributed across adjacent keys (virtual-clock ticks, dispatch
+// indices).
+func mix(seed, site, key uint64) uint64 {
+	z := seed ^ rotl(site, 23) ^ rotl(key, 47)
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

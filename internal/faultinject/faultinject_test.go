@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilPlanIsNoOp(t *testing.T) {
+	var p *Plan
+	if p.Should(SiteVMLoad, 1) {
+		t.Error("nil plan should never inject")
+	}
+	if p.FaultAt(SiteKernelSyscall, 1) != nil {
+		t.Error("nil plan FaultAt should be nil")
+	}
+	if p.ErrAttempt(SitePoolJob, 1, 0) != nil {
+		t.Error("nil plan ErrAttempt should be nil")
+	}
+	if len(p.Stats()) != 0 {
+		t.Error("nil plan stats should be empty")
+	}
+	if p.Seed() != 0 {
+		t.Error("nil plan seed should be 0")
+	}
+}
+
+func TestDisabledSiteNeverFires(t *testing.T) {
+	p := New(1).Enable(SitePoolJob, SiteConfig{Rate: 1, Mode: ModePermanent})
+	for key := uint64(0); key < 1000; key++ {
+		if p.Should(SiteVMLoad, key) {
+			t.Fatalf("disabled site fired at key %d", key)
+		}
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	p := New(7).Enable(SitePoolJob, SiteConfig{Rate: 1, Mode: ModePermanent})
+	for key := uint64(0); key < 100; key++ {
+		if !p.Should(SitePoolJob, key) {
+			t.Fatalf("rate-1 site did not fire at key %d", key)
+		}
+	}
+	if got := p.Stats()[SitePoolJob]; got != 100 {
+		t.Errorf("injected count = %d, want 100", got)
+	}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	build := func() *Plan {
+		return New(42).Enable(SitePoolJob, SiteConfig{Rate: 0.3, Mode: ModeTransient, Tries: 4})
+	}
+	a, b := build(), build()
+	for key := uint64(0); key < 5000; key++ {
+		for attempt := 0; attempt < 6; attempt++ {
+			ea := a.ErrAttempt(SitePoolJob, key, attempt)
+			eb := b.ErrAttempt(SitePoolJob, key, attempt)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("key %d attempt %d: plans disagree", key, attempt)
+			}
+			if ea != nil && ea.Error() != eb.Error() {
+				t.Fatalf("key %d attempt %d: messages differ", key, attempt)
+			}
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a := New(1).Enable(SitePoolJob, SiteConfig{Rate: 0.5, Mode: ModePermanent})
+	b := New(2).Enable(SitePoolJob, SiteConfig{Rate: 0.5, Mode: ModePermanent})
+	same := 0
+	const n = 2000
+	for key := uint64(0); key < n; key++ {
+		if a.Should(SitePoolJob, key) == b.Should(SitePoolJob, key) {
+			same++
+		}
+	}
+	// Independent 50% decisions agree about half the time; near-total
+	// agreement means the seed is not feeding the hash.
+	if same > n*3/4 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d keys; decisions look seed-independent", same, n)
+	}
+}
+
+func TestRateIsApproximatelyHonored(t *testing.T) {
+	p := New(99).Enable(SiteVMLoad, SiteConfig{Rate: 0.1, Mode: ModePermanent})
+	fired := 0
+	const n = 20000
+	for key := uint64(0); key < n; key++ {
+		if p.Should(SiteVMLoad, key) {
+			fired++
+		}
+	}
+	if fired < n/20 || fired > n/5 {
+		t.Errorf("rate 0.1 fired %d/%d times", fired, n)
+	}
+}
+
+func TestTransientFaultsClearAfterTries(t *testing.T) {
+	p := New(5).Enable(SitePoolJob, SiteConfig{Rate: 1, Mode: ModeTransient, Tries: 4})
+	sawMulti := false
+	for key := uint64(0); key < 200; key++ {
+		// Find the key's try budget: first attempt with no error.
+		cleared := -1
+		for attempt := 0; attempt < 10; attempt++ {
+			if p.ErrAttempt(SitePoolJob, key, attempt) == nil {
+				cleared = attempt
+				break
+			}
+		}
+		if cleared < 1 || cleared > 4 {
+			t.Fatalf("key %d cleared at attempt %d, want within [1,4]", key, cleared)
+		}
+		if cleared > 1 {
+			sawMulti = true
+		}
+		// Once cleared, it stays cleared.
+		if p.ErrAttempt(SitePoolJob, key, cleared+1) != nil {
+			t.Fatalf("key %d failed again after clearing", key)
+		}
+	}
+	if !sawMulti {
+		t.Error("no key drew a multi-attempt try budget; Tries derivation looks broken")
+	}
+}
+
+func TestPermanentFaultsNeverClear(t *testing.T) {
+	p := New(5).Enable(SiteSymFilter, SiteConfig{Rate: 1, Mode: ModePermanent})
+	for attempt := 0; attempt < 20; attempt++ {
+		if p.ErrAttempt(SiteSymFilter, 77, attempt) == nil {
+			t.Fatalf("permanent fault cleared at attempt %d", attempt)
+		}
+	}
+}
+
+func TestFaultErrorIdentity(t *testing.T) {
+	p := New(3).Enable(SiteKernelSyscall, SiteConfig{Rate: 1, Mode: ModePermanent})
+	f := p.FaultAt(SiteKernelSyscall, 12)
+	if f == nil {
+		t.Fatal("expected a fault")
+	}
+	if !errors.Is(f, ErrInjected) {
+		t.Error("fault does not match ErrInjected")
+	}
+	wrapped := fmt.Errorf("stage x: %w", f)
+	if !errors.Is(wrapped, ErrInjected) {
+		t.Error("wrapped fault does not match ErrInjected")
+	}
+	if f.Transient() {
+		t.Error("permanent fault reports transient")
+	}
+	if IsTransient(wrapped) {
+		t.Error("IsTransient true for permanent fault")
+	}
+	tf := &Fault{Site: SitePoolJob, Mode: ModeTransient}
+	if !IsTransient(fmt.Errorf("wrap: %w", tf)) {
+		t.Error("IsTransient false for wrapped transient fault")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("IsTransient true for plain error")
+	}
+	if IsTransient(nil) {
+		t.Error("IsTransient true for nil")
+	}
+}
+
+func TestKeyIsOrderAndBoundarySensitive(t *testing.T) {
+	if Key("a", "bc") == Key("ab", "c") {
+		t.Error("Key collides across part boundaries")
+	}
+	if Key("a", "b") == Key("b", "a") {
+		t.Error("Key ignores part order")
+	}
+	if Key("x") == Key("x", "") {
+		t.Error("Key ignores empty trailing part")
+	}
+}
+
+func TestModeAndSiteStrings(t *testing.T) {
+	if ModeTransient.String() != "transient" || ModePermanent.String() != "permanent" || Mode(9).String() != "mode?" {
+		t.Error("mode strings wrong")
+	}
+	if len(Sites()) != 6 {
+		t.Error("Sites() should list 6 sites")
+	}
+}
+
+func TestDefaultPlanEnablesEverySite(t *testing.T) {
+	p := Default(11)
+	for _, site := range Sites() {
+		cfg, ok := p.sites[site]
+		if !ok || cfg.Rate <= 0 {
+			t.Errorf("default plan leaves %s disabled", site)
+		}
+	}
+	if p.Seed() != 11 {
+		t.Errorf("seed = %d", p.Seed())
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"crashresist/internal/asm"
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/vm"
 	"crashresist/internal/winapi"
 )
@@ -82,6 +83,12 @@ type Summary struct {
 type Fuzzer struct {
 	reg  *winapi.Registry
 	seed int64
+
+	// FaultPlan, when non-nil, is attached to every harness process so
+	// chaos runs exercise the fuzzer's crash/graceful classification under
+	// injected VM faults. Probes stay deterministic: injection is keyed by
+	// the harness's virtual clock, which restarts from zero per probe.
+	FaultPlan *faultinject.Plan
 }
 
 // New creates a fuzzer over the registry. The seed feeds harness-process
@@ -138,6 +145,7 @@ func (f *Fuzzer) runProbe(img *bin.Image, d *winapi.Descriptor, ptr uint64) (Out
 		Platform:  vm.PlatformWindows,
 		Seed:      f.seed,
 		StackSize: 16 * 1024,
+		FaultPlan: f.FaultPlan,
 	})
 	p.API = f.reg
 	if _, err := p.LoadImage(img); err != nil {

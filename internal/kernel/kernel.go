@@ -13,6 +13,7 @@ package kernel
 import (
 	"fmt"
 
+	"crashresist/internal/faultinject"
 	"crashresist/internal/mem"
 	"crashresist/internal/vm"
 )
@@ -52,6 +53,7 @@ const (
 // Errno values.
 const (
 	ENOENT = 2
+	EIO    = 5
 	EBADF  = 9
 	EAGAIN = 11
 	EFAULT = 14
@@ -186,6 +188,7 @@ type Kernel struct {
 
 	observer Observer
 	rewrite  ArgRewriter
+	plan     *faultinject.Plan
 
 	counts Counts
 
@@ -202,6 +205,9 @@ type Counts struct {
 	// EFAULTReturns counts completions that returned -EFAULT, i.e. the
 	// crash-resistant "bad pointer survived" signal from §IV-A.
 	EFAULTReturns uint64
+	// Injected counts syscalls answered with a plan-injected error
+	// (-EAGAIN transient, -EIO permanent) instead of running.
+	Injected uint64
 }
 
 // Counts returns the kernel's dispatch counters so far.
@@ -230,6 +236,13 @@ func (k *Kernel) Attach(p *vm.Process) {
 
 // SetObserver installs a syscall observer.
 func (k *Kernel) SetObserver(o Observer) { k.observer = o }
+
+// SetFaultPlan attaches a fault plan; selected syscalls then fail with
+// -EAGAIN (transient) or -EIO (permanent) before their body runs, keyed by
+// the kernel's dispatch index. Injection deliberately never uses -EFAULT:
+// that return is the pipeline's discovery signal and must stay attributable
+// to real pointer validation.
+func (k *Kernel) SetFaultPlan(p *faultinject.Plan) { k.plan = p }
 
 // SetArgRewriter installs an argument rewriter.
 func (k *Kernel) SetArgRewriter(f ArgRewriter) { k.rewrite = f }
@@ -262,6 +275,20 @@ func (k *Kernel) Syscall(p *vm.Process, t *vm.Thread) {
 	ev := Event{Thread: t, Num: num, Name: spec.Name, Args: args}
 	if k.observer != nil {
 		k.observer.SyscallEnter(ev)
+	}
+	// Process teardown is not interceptable; everything else may draw an
+	// injected error keyed by the dispatch index (unique per kernel, so
+	// decisions replay identically for a fixed seed and workload).
+	if k.plan != nil && num != SysExit && num != SysExitThread {
+		if f := k.plan.FaultAt(faultinject.SiteKernelSyscall, k.counts.Dispatched); f != nil {
+			k.counts.Injected++
+			errno := uint64(EIO)
+			if f.Transient() {
+				errno = EAGAIN
+			}
+			k.complete(t, ev, errRet(errno))
+			return
+		}
 	}
 	k.invoke(t, ev)
 }

@@ -59,6 +59,17 @@ const (
 	CtrSymexCacheUncacheable
 	// CtrPoolTasks counts jobs executed by the discovery worker pool.
 	CtrPoolTasks
+	// CtrFaultsInjected counts failures fired by an attached fault plan
+	// across all sites (VM, kernel, symex, pool).
+	CtrFaultsInjected
+	// CtrRetries counts job attempts re-run after a transient failure.
+	CtrRetries
+	// CtrBackoffTicks counts virtual backoff ticks accumulated between
+	// retry attempts (1<<attempt per retry).
+	CtrBackoffTicks
+	// CtrDegraded counts jobs that exhausted their retries and were
+	// recorded as degraded rather than aborting the run.
+	CtrDegraded
 
 	numCounters
 )
@@ -92,6 +103,14 @@ func (c Counter) String() string {
 		return "symex_cache_uncacheable"
 	case CtrPoolTasks:
 		return "pool_tasks"
+	case CtrFaultsInjected:
+		return "faults_injected"
+	case CtrRetries:
+		return "retries"
+	case CtrBackoffTicks:
+		return "backoff_ticks"
+	case CtrDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("counter_%d", uint8(c))
 	}

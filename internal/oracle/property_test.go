@@ -1,0 +1,104 @@
+package oracle
+
+// Property test: the scanner's verdict over randomized memory layouts must
+// agree with brute-force ground truth from the address space itself. Each
+// layout allocates a fresh 16-page window and randomly leaves pages
+// readable, strips their permissions (guard pages), or unmaps them; the
+// oracle must call every page correctly — a single false mapped or false
+// unmapped verdict breaks the §VI attack's bisection — and the probed
+// process must survive the whole campaign without a crash.
+
+import (
+	"math/rand"
+	"testing"
+
+	"crashresist/internal/mem"
+	"crashresist/internal/vm"
+)
+
+// pageFate is what a layout did to one page.
+type pageFate uint8
+
+const (
+	fateReadable pageFate = iota // mapped, PermRW
+	fateGuard                    // mapped, no permissions
+	fateUnmapped                 // unmapped
+)
+
+func TestScannerMatchesGroundTruthOverRandomLayouts(t *testing.T) {
+	layouts := 200
+	if testing.Short() {
+		layouts = 40
+	}
+	const pages = 16
+
+	env := ieEnv(t)
+	o, err := NewIEOracle(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(o)
+	as := env.Proc.AS
+
+	var falseMapped, falseUnmapped int
+	for li := 0; li < layouts; li++ {
+		rng := rand.New(rand.NewSource(9000 + int64(li)))
+		base, err := env.Proc.Alloc.Alloc(pages*mem.PageSize, mem.PermRW)
+		if err != nil {
+			t.Fatalf("layout %d: alloc: %v", li, err)
+		}
+		fates := make([]pageFate, pages)
+		for pi := range fates {
+			addr := base + uint64(pi)*mem.PageSize
+			switch fates[pi] = pageFate(rng.Intn(3)); fates[pi] {
+			case fateReadable:
+				// leave as allocated
+			case fateGuard:
+				if err := as.Protect(addr, mem.PageSize, 0); err != nil {
+					t.Fatalf("layout %d page %d: protect: %v", li, pi, err)
+				}
+			case fateUnmapped:
+				if err := as.Unmap(addr, mem.PageSize); err != nil {
+					t.Fatalf("layout %d page %d: unmap: %v", li, pi, err)
+				}
+			}
+		}
+
+		for pi := 0; pi < pages; pi++ {
+			addr := base + uint64(pi)*mem.PageSize
+			// Brute-force ground truth straight from the address space:
+			// the oracle reports "mapped" exactly for readable memory.
+			perm, mapped := as.PermAt(addr)
+			want := ProbeUnmapped
+			if mapped && perm&mem.PermRead != 0 {
+				want = ProbeMapped
+			}
+			got, err := s.Probe(addr)
+			if err != nil {
+				t.Fatalf("layout %d page %d (%v): probe %#x: %v", li, pi, fates[pi], addr, err)
+			}
+			if got != want {
+				switch want {
+				case ProbeMapped:
+					falseUnmapped++
+				case ProbeUnmapped:
+					falseMapped++
+				}
+				t.Errorf("layout %d page %d (%v): probe %#x = %v, want %v", li, pi, fates[pi], addr, got, want)
+			}
+		}
+		if env.Proc.State == vm.ProcCrashed {
+			t.Fatalf("layout %d crashed the target: %v", li, env.Proc.Crash)
+		}
+	}
+
+	if falseMapped != 0 || falseUnmapped != 0 {
+		t.Errorf("verdict errors: %d false mapped, %d false unmapped (want 0/0)", falseMapped, falseUnmapped)
+	}
+	if s.Stats.Crashes != 0 {
+		t.Errorf("scanner recorded %d crashes, want 0", s.Stats.Crashes)
+	}
+	if want := layouts * pages; s.Stats.Probes != want {
+		t.Errorf("probes = %d, want %d", s.Stats.Probes, want)
+	}
+}

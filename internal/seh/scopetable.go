@@ -1,0 +1,75 @@
+package seh
+
+// Raw scope-table section parsing. CRX images embed their scope tables in
+// the image container, but the paper's pipeline starts from the PE
+// .pdata/.xdata sections — a standalone length-prefixed record array. This
+// file implements that raw section encoding: the same little-endian layout
+// the container uses (count u32, then five u32 fields per entry), but
+// self-contained, strict (no trailing bytes) and hardened against hostile
+// length fields, so a section blob can be parsed without trusting the
+// surrounding image. ParseScopeTable and AppendScopeTable are exact
+// inverses on valid input; FuzzScopeTableParse holds them to that.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"crashresist/internal/bin"
+)
+
+// scopeEntrySize is the wire size of one scope record: five u32 fields.
+const scopeEntrySize = 5 * 4
+
+// ParseScopeTable parses a raw scope-table section: a u32 entry count
+// followed by exactly count records of (Func, Begin, End, Filter, Target),
+// all little-endian. It rejects truncated input, trailing bytes, counts
+// that exceed the input, and inverted guarded ranges, so any returned
+// entries are structurally sound.
+func ParseScopeTable(data []byte) ([]bin.ScopeEntry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("scope table: %d bytes, want at least a count", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	rest := data[4:]
+	// The count is attacker-controlled: bound it by what the input could
+	// possibly encode before allocating anything.
+	if uint64(count)*scopeEntrySize > uint64(len(rest)) {
+		return nil, fmt.Errorf("scope table: count %d exceeds %d remaining bytes", count, len(rest))
+	}
+	if n := uint64(len(rest)) - uint64(count)*scopeEntrySize; n != 0 {
+		return nil, fmt.Errorf("scope table: %d trailing bytes after %d entries", n, count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([]bin.ScopeEntry, count)
+	for i := range out {
+		rec := rest[i*scopeEntrySize:]
+		out[i] = bin.ScopeEntry{
+			Func:   binary.LittleEndian.Uint32(rec[0:]),
+			Begin:  binary.LittleEndian.Uint32(rec[4:]),
+			End:    binary.LittleEndian.Uint32(rec[8:]),
+			Filter: binary.LittleEndian.Uint32(rec[12:]),
+			Target: binary.LittleEndian.Uint32(rec[16:]),
+		}
+		if out[i].Begin >= out[i].End {
+			return nil, fmt.Errorf("scope table: entry %d has inverted range [%d, %d)", i, out[i].Begin, out[i].End)
+		}
+	}
+	return out, nil
+}
+
+// AppendScopeTable appends the raw section encoding of scopes to dst and
+// returns the extended slice. The output is canonical: parsing it yields
+// exactly scopes again.
+func AppendScopeTable(dst []byte, scopes []bin.ScopeEntry) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(scopes)))
+	for _, s := range scopes {
+		dst = binary.LittleEndian.AppendUint32(dst, s.Func)
+		dst = binary.LittleEndian.AppendUint32(dst, s.Begin)
+		dst = binary.LittleEndian.AppendUint32(dst, s.End)
+		dst = binary.LittleEndian.AppendUint32(dst, s.Filter)
+		dst = binary.LittleEndian.AppendUint32(dst, s.Target)
+	}
+	return dst
+}

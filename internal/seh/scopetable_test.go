@@ -1,0 +1,90 @@
+package seh
+
+import (
+	"reflect"
+	"testing"
+
+	"crashresist/internal/bin"
+)
+
+func validScopes() []bin.ScopeEntry {
+	return []bin.ScopeEntry{
+		{Func: 0, Begin: 4, End: 12, Filter: 40, Target: 20},
+		{Func: 24, Begin: 28, End: 36, Filter: bin.FilterCatchAll, Target: 36},
+	}
+}
+
+func TestScopeTableRoundTrip(t *testing.T) {
+	want := validScopes()
+	raw := AppendScopeTable(nil, want)
+	got, err := ParseScopeTable(raw)
+	if err != nil {
+		t.Fatalf("ParseScopeTable: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+	if again := AppendScopeTable(nil, got); string(again) != string(raw) {
+		t.Errorf("re-encoding is not canonical:\n got %x\nwant %x", again, raw)
+	}
+}
+
+func TestScopeTableEmpty(t *testing.T) {
+	raw := AppendScopeTable(nil, nil)
+	got, err := ParseScopeTable(raw)
+	if err != nil {
+		t.Fatalf("ParseScopeTable(empty): %v", err)
+	}
+	if got != nil {
+		t.Errorf("empty table parsed to %+v, want nil", got)
+	}
+}
+
+func TestScopeTableRejects(t *testing.T) {
+	valid := AppendScopeTable(nil, validScopes())
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"nil", nil},
+		{"short count", []byte{1, 2, 3}},
+		{"count exceeds input", []byte{0xff, 0xff, 0xff, 0xff}},
+		{"truncated entry", valid[:len(valid)-1]},
+		{"trailing byte", append(append([]byte(nil), valid...), 0)},
+		{"inverted range", AppendScopeTable(nil, []bin.ScopeEntry{{Begin: 8, End: 8}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, err := ParseScopeTable(tc.data); err == nil {
+				t.Errorf("ParseScopeTable accepted %q: %+v", tc.name, got)
+			}
+		})
+	}
+}
+
+// FuzzScopeTableParse checks the parser is total (no panics, no
+// out-of-range reads on arbitrary input) and that accepted input
+// round-trips exactly through AppendScopeTable.
+func FuzzScopeTableParse(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(AppendScopeTable(nil, validScopes()))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scopes, err := ParseScopeTable(data)
+		if err != nil {
+			return
+		}
+		reenc := AppendScopeTable(nil, scopes)
+		if string(reenc) != string(data) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, reenc)
+		}
+		again, err := ParseScopeTable(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded table rejected: %v", err)
+		}
+		if !reflect.DeepEqual(again, scopes) {
+			t.Fatalf("round trip diverged:\n first  %+v\n second %+v", scopes, again)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package sym
 
 import (
+	"fmt"
 	"sync"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/vm"
 )
 
@@ -91,6 +93,22 @@ func (c *Cache) markUncacheable() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.uncacheable++
+}
+
+// TryAnalyzeFilterIn is AnalyzeFilterIn with fault injection: when the
+// executor carries a plan, the sym.filter site may fail the analysis with a
+// host-level error (keyed by module and filter offset, parameterized by the
+// executor's FaultAttempt) before any execution happens. The discover
+// pipeline's retry wrapper drives the attempt number; without a plan this
+// is exactly AnalyzeFilterIn.
+func (e *Executor) TryAnalyzeFilterIn(mod *bin.Module, off uint32) (Report, error) {
+	if e.FaultPlan != nil {
+		key := faultinject.Key(mod.Image.Name, "filter", fmt.Sprintf("%#x", off))
+		if err := e.FaultPlan.ErrAttempt(faultinject.SiteSymFilter, key, e.FaultAttempt); err != nil {
+			return Report{}, fmt.Errorf("symex %s filter %#x: %w", mod.Image.Name, off, err)
+		}
+	}
+	return e.AnalyzeFilterIn(mod, off), nil
 }
 
 // AnalyzeFilterIn classifies the filter at flat offset off inside mod,

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 	"crashresist/internal/solver"
 	"crashresist/internal/vm"
@@ -132,6 +133,13 @@ type Executor struct {
 	// Cache, when non-nil, memoizes AnalyzeFilterIn results by filter
 	// body. It may be shared with other executors.
 	Cache *Cache
+
+	// FaultPlan, when non-nil, injects deterministic analysis failures at
+	// the sym.filter site (see TryAnalyzeFilterIn). FaultAttempt is the
+	// retry attempt the owning shard is on; the pool's retry wrapper sets
+	// it before each attempt so transient injections clear on retry.
+	FaultPlan    *faultinject.Plan
+	FaultAttempt int
 
 	// Purity tracking for the cache: while tracking, any dependence on
 	// state outside [trackLo, trackHi) clears pure (see Cache).

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 )
 
@@ -21,6 +22,14 @@ func (p *Process) dispatchException(t *Thread, exc Exception) {
 	}
 	// §VII-C countermeasure: unmapped access violations are uncatchable.
 	if p.Policy.MappedOnlyAV && exc.Code == ExcAccessViolation && exc.Unmapped {
+		p.crashProcess(t, exc)
+		return
+	}
+	// Injected dispatch failure: the exception machinery itself breaks
+	// (keyed by the virtual clock), terminating the process as if no
+	// handler search had run.
+	if fp := p.FaultPlan; fp != nil && fp.Should(faultinject.SiteVMDispatch, p.Clock) {
+		p.Stats.FaultsInjected++
 		p.crashProcess(t, exc)
 		return
 	}

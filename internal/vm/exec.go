@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 	"crashresist/internal/mem"
 )
@@ -193,6 +194,9 @@ func (p *Process) execOne(t *Thread) *Exception {
 	case isa.OpLoad1, isa.OpLoad2, isa.OpLoad4, isa.OpLoad8:
 		sz := ins.LoadSize()
 		addr := t.Regs[ins.B] + uint64(int64(ins.Disp))
+		if exc := p.injectedMemFault(pc, addr, mem.AccessRead); exc != nil {
+			return exc
+		}
 		v, err := p.AS.ReadUint(addr, sz)
 		if err != nil {
 			return p.faultAt(pc, addr, mem.AccessRead, err)
@@ -205,6 +209,9 @@ func (p *Process) execOne(t *Thread) *Exception {
 	case isa.OpStore1, isa.OpStore2, isa.OpStore4, isa.OpStore8:
 		sz := ins.StoreSize()
 		addr := t.Regs[ins.A] + uint64(int64(ins.Disp))
+		if exc := p.injectedMemFault(pc, addr, mem.AccessWrite); exc != nil {
+			return exc
+		}
 		if err := p.AS.WriteUint(addr, sz, t.Regs[ins.B]); err != nil {
 			return p.faultAt(pc, addr, mem.AccessWrite, err)
 		}
@@ -298,6 +305,27 @@ func (p *Process) doCallImport(t *Thread, pc, retPC uint64, slot uint32) *Except
 		return &excAt
 	}
 	return nil
+}
+
+// injectedMemFault consults the fault plan at a load/store site, keyed by
+// the virtual clock — unique per retired instruction, so decisions are
+// identical across schedules and worker counts. An injected fault is an
+// unmapped access violation: exactly the class the analyzed handlers and
+// the paper's countermeasures care about.
+func (p *Process) injectedMemFault(pc, addr uint64, access mem.Access) *Exception {
+	fp := p.FaultPlan
+	if fp == nil {
+		return nil
+	}
+	site := faultinject.SiteVMLoad
+	if access == mem.AccessWrite {
+		site = faultinject.SiteVMStore
+	}
+	if !fp.Should(site, p.Clock) {
+		return nil
+	}
+	p.Stats.FaultsInjected++
+	return &Exception{Code: ExcAccessViolation, Addr: addr, PC: pc, Access: access, Unmapped: true}
 }
 
 // memFault converts a mem.Fault from instruction fetch into an exception.

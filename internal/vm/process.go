@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/faultinject"
 	"crashresist/internal/mem"
 )
 
@@ -31,6 +32,9 @@ type Config struct {
 	// StackSize overrides DefaultStackSize when non-zero.
 	StackSize uint64
 	Policy    Policy
+	// FaultPlan, when non-nil, injects deterministic faults at the
+	// emulator's memory-access and exception-dispatch sites.
+	FaultPlan *faultinject.Plan
 }
 
 // Process is a simulated user-space process.
@@ -52,6 +56,9 @@ type Process struct {
 	Tracer Tracer
 	// Flow, if non-nil, receives data-flow events for taint tracking.
 	Flow DataFlow
+	// FaultPlan, if non-nil, injects deterministic faults keyed by the
+	// virtual clock (see internal/faultinject).
+	FaultPlan *faultinject.Plan
 
 	// SignalHandlers maps Linux-model signal numbers to handler
 	// addresses, registered via the kernel's sigaction.
@@ -103,6 +110,7 @@ func NewProcess(cfg Config) *Process {
 		Alloc:          mem.NewAllocator(as, arenaLow, arenaHigh, cfg.Seed),
 		Platform:       cfg.Platform,
 		Policy:         cfg.Policy,
+		FaultPlan:      cfg.FaultPlan,
 		SignalHandlers: make(map[int]uint64),
 		modsByName:     make(map[string]*bin.Module),
 		State:          ProcRunning,

@@ -169,6 +169,7 @@ type Stats struct {
 	Faults         uint64 // exceptions raised
 	FaultsUnmapped uint64 // access violations on unmapped addresses
 	FaultsHandled  uint64 // exceptions resolved by a handler
+	FaultsInjected uint64 // faults fired by an attached fault plan
 	Syscalls       uint64
 	APICalls       uint64
 }
@@ -180,6 +181,7 @@ func (s *Stats) Add(o Stats) {
 	s.Faults += o.Faults
 	s.FaultsUnmapped += o.FaultsUnmapped
 	s.FaultsHandled += o.FaultsHandled
+	s.FaultsInjected += o.FaultsInjected
 	s.Syscalls += o.Syscalls
 	s.APICalls += o.APICalls
 }
