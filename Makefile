@@ -28,8 +28,14 @@ fuzz-short:
 chaos:
 	CHAOS_SCALE=paper $(GO) test -race -run 'TestChaos|TestStageTimeout' -v .
 
+# bench emits benchstat-comparable text (bench.txt — feed two of them to
+# `benchstat old.txt new.txt`) and a machine-readable BENCH_PR5.json via
+# tools/benchjson. BENCH_COUNT > 1 gives benchstat variance to work with.
+BENCH_COUNT ?= 1
 bench:
-	$(GO) test -bench=. -benchtime=1x
+	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) ./... | tee bench.txt
+	$(GO) run ./tools/benchjson < bench.txt > BENCH_PR5.json
+	@echo "wrote bench.txt and BENCH_PR5.json"
 
 golden-update:
 	$(GO) test ./cmd/crtables -run TestGolden -update

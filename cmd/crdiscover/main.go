@@ -6,13 +6,21 @@
 //	crdiscover -target firefox -pipeline seh # Tables II/III inventory
 //	crdiscover -target nginx -format json    # machine-readable report
 //	crdiscover -target ie -metrics           # run stats on stderr
+//	crdiscover -target ie -trace t.json      # Chrome trace-event export
+//	crdiscover -target ie -serve :9090       # live /metrics, /trace.json,
+//	                                         # /debug/vars, /debug/pprof
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"crashresist"
 )
@@ -34,6 +42,8 @@ func run() error {
 		format      = flag.String("format", "text", "output format: text or json")
 		showMetrics = flag.Bool("metrics", false, "print run stats to stderr")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
+		traceFile   = flag.String("trace", "", "write the run's span tree to this file as Chrome trace-event JSON")
+		serveAddr   = flag.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
 	)
 	flag.Parse()
 
@@ -42,6 +52,23 @@ func run() error {
 		opts = append(opts,
 			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(*chaosSeed)),
 			crashresist.WithRetry(2))
+	}
+
+	// Trace export and live serving both ride a metrics registry sink. The
+	// listener binds before the analysis so scrapes work while it runs.
+	var reg *crashresist.MetricsRegistry
+	if *traceFile != "" || *serveAddr != "" {
+		reg = crashresist.NewMetricsRegistry()
+		opts = append(opts, crashresist.WithSink(reg))
+	}
+	finish := func() error { return finishObservability(reg, *traceFile, *serveAddr != "") }
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crdiscover: serving http://%s/metrics\n", ln.Addr())
+		go func() { _ = http.Serve(ln, reg.Handler()) }()
 	}
 
 	switch *format {
@@ -64,7 +91,10 @@ func run() error {
 		if pl != "syscall" {
 			return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 		}
-		return runServer(*target, *seed, opts, *format, *showMetrics)
+		if err := runServer(*target, *seed, opts, *format, *showMetrics); err != nil {
+			return err
+		}
+		return finish()
 	}
 
 	params := crashresist.SmallBrowserParams()
@@ -92,11 +122,14 @@ func run() error {
 		}
 		emitMetrics(rep.Stats, *showMetrics)
 		if *format == "json" {
-			return printJSON(rep)
+			if err := printJSON(rep); err != nil {
+				return err
+			}
+			return finish()
 		}
 		fmt.Println(crashresist.FormatFunnel(rep))
 		printDegraded(rep.Degraded)
-		return nil
+		return finish()
 	case "seh":
 		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, opts...)
 		if err != nil {
@@ -104,7 +137,10 @@ func run() error {
 		}
 		emitMetrics(rep.Stats, *showMetrics)
 		if *format == "json" {
-			return printJSON(rep)
+			if err := printJSON(rep); err != nil {
+				return err
+			}
+			return finish()
 		}
 		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
 		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
@@ -130,10 +166,40 @@ func run() error {
 		fmt.Printf("\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
 			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
 		printDegraded(rep.Degraded)
-		return nil
+		return finish()
 	default:
 		return fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
 	}
+}
+
+// finishObservability runs after a successful analysis: it writes the
+// requested Chrome trace from the registry's recorded runs and, in -serve
+// mode, blocks until the process is interrupted so the endpoints stay up.
+func finishObservability(reg *crashresist.MetricsRegistry, traceFile string, serving bool) error {
+	if reg == nil {
+		return nil
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := crashresist.WriteChromeTrace(f, reg.Runs()...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crdiscover: wrote Chrome trace to %s\n", traceFile)
+	}
+	if serving {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintln(os.Stderr, "crdiscover: analysis complete; serving until interrupted")
+		<-ctx.Done()
+	}
+	return nil
 }
 
 func runServer(name string, seed int64, opts []crashresist.Option, format string, showMetrics bool) error {

@@ -1,0 +1,159 @@
+// Command crmon is the long-running discovery monitor: it serves live
+// metrics endpoints and repeatedly runs a discovery pipeline, folding each
+// completed run into the exposition registry. It exists so the pipelines
+// can be watched like a serving stack — Prometheus scrapes /metrics, a
+// Chrome trace of the recent runs is one GET away, and pprof is wired in:
+//
+//	crmon -addr :9090 -target nginx              # loop the syscall pipeline
+//	crmon -addr :9090 -target ie -pipeline seh -runs 3
+//	curl localhost:9090/metrics                  # Prometheus text format
+//	curl localhost:9090/trace.json               # Chrome trace-event JSON
+//	curl localhost:9090/debug/vars               # expvar
+//	curl localhost:9090/debug/pprof/             # runtime profiles
+//
+// Endpoints are live from before the first analysis starts. With -runs 0
+// (the default) crmon keeps analyzing until interrupted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"crashresist"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "crmon:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the whole command. ready, when non-nil, receives the bound
+// listen address once the endpoints are serving — the test hook that makes
+// `-addr 127.0.0.1:0` usable.
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("crmon", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":9090", "listen address for /metrics, /trace.json, /debug/vars, /debug/pprof")
+		target   = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
+		pipeline = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
+		scale    = fs.String("scale", "small", "browser corpus scale: paper or small")
+		seed     = fs.Int64("seed", 42, "analysis seed")
+		workers  = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		runs     = fs.Int("runs", 0, "stop after this many analysis runs (0 = loop until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	isBrowser := *target == "ie" || *target == "firefox"
+	pl := *pipeline
+	if pl == "" {
+		if isBrowser {
+			pl = "seh"
+		} else {
+			pl = "syscall"
+		}
+	}
+	if !isBrowser && pl != "syscall" {
+		return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
+	}
+
+	analyze, err := buildAnalysis(*target, pl, *scale, *seed, *workers)
+	if err != nil {
+		return err
+	}
+
+	reg := crashresist.NewMetricsRegistry()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: reg.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "crmon: serving http://%s/metrics (%s pipeline, target %s)\n", ln.Addr(), pl, *target)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	for n := 0; *runs == 0 || n < *runs; n++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := analyze(ctx, reg); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return err
+			}
+			return fmt.Errorf("run %d: %w", n+1, err)
+		}
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("serve: %w", err)
+		default:
+		}
+	}
+	fmt.Fprintf(os.Stderr, "crmon: %d run(s) complete; serving until interrupted\n", *runs)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// buildAnalysis resolves the target once and returns a closure running one
+// analysis with the registry attached as a sink.
+func buildAnalysis(target, pl, scale string, seed int64, workers int) (func(context.Context, *crashresist.MetricsRegistry) error, error) {
+	if target != "ie" && target != "firefox" {
+		srv, err := crashresist.Server(target)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
+			_, err := crashresist.AnalyzeServerContext(ctx, srv, seed,
+				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			return err
+		}, nil
+	}
+
+	params := crashresist.SmallBrowserParams()
+	if scale == "paper" {
+		params = crashresist.PaperBrowserParams()
+	}
+	var (
+		br  *crashresist.BrowserTarget
+		err error
+	)
+	if target == "ie" {
+		br, err = crashresist.IE(params)
+	} else {
+		br, err = crashresist.Firefox(params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch pl {
+	case "api":
+		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
+			_, err := crashresist.AnalyzeBrowserAPIsContext(ctx, br, seed,
+				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			return err
+		}, nil
+	case "seh":
+		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
+			_, err := crashresist.AnalyzeBrowserSEHContext(ctx, br, seed,
+				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"crashresist"
+)
+
+// TestServeAndAnalyze drives the monitor end to end: bind an ephemeral
+// port, run one analysis, then check every endpoint while the server keeps
+// serving, and finally interrupt it via context cancellation.
+func TestServeAndAnalyze(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-target", "nginx", "-runs", "1"},
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// The analysis completes asynchronously; poll /metrics until the run
+	// lands in the registry.
+	deadline := time.Now().Add(30 * time.Second)
+	var metricsBody string
+	for {
+		metricsBody = get("/metrics")
+		if strings.Contains(metricsBody, "crashresist_runs_total") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed a completed run:\n%s", metricsBody)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(metricsBody, `crashresist_runs_total{pipeline="syscall",target="nginx"} 1`) {
+		t.Errorf("/metrics missing the nginx run:\n%s", metricsBody)
+	}
+	if !strings.Contains(metricsBody, "crashresist_stage_latency_ticks") {
+		t.Errorf("/metrics missing latency summary:\n%s", metricsBody)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get("/trace.json")), &trace); err != nil {
+		t.Fatalf("/trace.json not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("/trace.json carries no events after a completed run")
+	}
+
+	if body := get("/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+	if body := get("/debug/vars"); !json.Valid([]byte(body)) {
+		t.Error("/debug/vars not valid JSON")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("run returned %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}
+
+// TestBadParams checks flag validation without binding a port.
+func TestBadParams(t *testing.T) {
+	cases := [][]string{
+		{"-target", "nginx", "-pipeline", "seh"}, // server target, browser pipeline
+		{"-target", "ie", "-pipeline", "bogus"},
+		{"-target", "nosuch"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, nil)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+			continue
+		}
+		if strings.Contains(fmt.Sprint(args), "nosuch") {
+			if !errors.Is(err, crashresist.ErrUnknownServer) {
+				t.Errorf("run(%v) = %v, want ErrUnknownServer", args, err)
+			}
+		} else if !errors.Is(err, crashresist.ErrBadParams) {
+			t.Errorf("run(%v) = %v, want ErrBadParams", args, err)
+		}
+	}
+}

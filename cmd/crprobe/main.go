@@ -6,16 +6,22 @@
 //	crprobe -target ie
 //	crprobe -target nginx -size 262144
 //	crprobe -target cherokee -requests 100   # timing side channel
+//	crprobe -target nginx -format json       # machine-readable result
+//	crprobe -target ie -metrics              # run stats on stderr
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"crashresist"
 	"crashresist/internal/mem"
+	"crashresist/internal/metrics"
+	"crashresist/internal/vm"
 )
 
 func main() {
@@ -34,17 +40,63 @@ func main() {
 // package has already written to stderr alongside the usage text.
 var errFlagParse = errors.New("flag parse error")
 
+// probeDoc is the -format=json result document.
+type probeDoc struct {
+	Target string `json:"target"`
+	Oracle string `json:"oracle,omitempty"`
+	// Locate-style attacks (ie, firefox, nginx).
+	Located   bool   `json:"located,omitempty"`
+	HiddenVA  uint64 `json:"hidden_va,omitempty"`
+	LocatedVA uint64 `json:"located_va,omitempty"`
+	Probes    int    `json:"probes,omitempty"`
+	Mapped    int    `json:"mapped,omitempty"`
+	Crashes   int    `json:"crashes"`
+	// Timing side channel (cherokee).
+	BaselineTicks uint64 `json:"baseline_ticks,omitempty"`
+	MappedTicks   uint64 `json:"mapped_ticks,omitempty"`
+	UnmappedTicks uint64 `json:"unmapped_ticks,omitempty"`
+	// Stats is the run's observability record.
+	Stats *crashresist.RunStats `json:"stats,omitempty"`
+}
+
+// probeRun carries one invocation's narrative stream, result document and
+// metrics collector through the probe helpers.
+type probeRun struct {
+	w   io.Writer // narrative output; io.Discard under -format=json
+	doc probeDoc
+	col *metrics.Collector
+}
+
+// harvest folds a probed process's VM counters into the run collector.
+func (pr *probeRun) harvest(p *vm.Process) {
+	st := p.Stats
+	pr.col.Add(metrics.CtrInstructions, st.Instructions)
+	pr.col.Add(metrics.CtrFaults, st.Faults)
+	pr.col.Add(metrics.CtrFaultsUnmapped, st.FaultsUnmapped)
+	pr.col.Add(metrics.CtrFaultsHandled, st.FaultsHandled)
+	pr.col.Add(metrics.CtrFaultsInjected, st.FaultsInjected)
+	pr.col.Add(metrics.CtrSyscalls, st.Syscalls)
+	pr.col.Add(metrics.CtrAPICalls, st.APICalls)
+}
+
 // run is the whole command behind argument parsing, returning an error
 // (wrapping the crashresist sentinels where one applies) instead of
 // exiting, so tests can drive it directly.
 func run(args []string) error {
+	return runTo(args, os.Stdout, os.Stderr)
+}
+
+// runTo is run with explicit output streams for the CLI smoke tests.
+func runTo(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crprobe", flag.ContinueOnError)
 	var (
-		target   = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
-		size     = fs.Uint64("size", 64*4096, "hidden region size in bytes")
-		window   = fs.Uint64("window", 64, "search window in multiples of the region size")
-		requests = fs.Int("requests", 50, "cherokee: requests per timing batch")
-		seed     = fs.Int64("seed", 42, "ASLR seed")
+		target      = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
+		size        = fs.Uint64("size", 64*4096, "hidden region size in bytes")
+		window      = fs.Uint64("window", 64, "search window in multiples of the region size")
+		requests    = fs.Int("requests", 50, "cherokee: requests per timing batch")
+		seed        = fs.Int64("seed", 42, "ASLR seed")
+		format      = fs.String("format", "text", "output format: text or json")
+		showMetrics = fs.Bool("metrics", false, "print run stats to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,19 +105,47 @@ func run(args []string) error {
 		return fmt.Errorf("%w: %v", errFlagParse, err)
 	}
 
+	switch *format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, *format)
+	}
+
+	pr := &probeRun{w: stdout, col: metrics.NewCollector("probe", *target, 1)}
+	if *format == "json" {
+		pr.w = io.Discard
+	}
+	pr.doc.Target = *target
+
+	var err error
 	switch *target {
 	case "ie", "firefox":
-		return probeBrowser(*target, *size, *window, *seed)
+		err = pr.probeBrowser(*target, *size, *window, *seed)
 	case "nginx":
-		return probeNginx(*size, *window, *seed)
+		err = pr.probeNginx(*size, *window, *seed)
 	case "cherokee":
-		return probeCherokee(*requests, *seed)
+		err = pr.probeCherokee(*requests, *seed)
 	default:
 		return fmt.Errorf("%w: unknown -target %q (want ie, firefox, nginx or cherokee)", crashresist.ErrBadParams, *target)
 	}
+	if err != nil {
+		return err
+	}
+
+	stats := pr.col.Snapshot()
+	if *showMetrics {
+		fmt.Fprint(stderr, stats.Format())
+	}
+	if *format == "json" {
+		pr.doc.Stats = stats
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&pr.doc)
+	}
+	return nil
 }
 
-func probeBrowser(name string, size, window uint64, seed int64) error {
+func (pr *probeRun) probeBrowser(name string, size, window uint64, seed int64) error {
 	params := crashresist.SmallBrowserParams()
 	var (
 		br  *crashresist.BrowserTarget
@@ -86,11 +166,12 @@ func probeBrowser(name string, size, window uint64, seed int64) error {
 	if err := env.Start(); err != nil {
 		return err
 	}
+	defer pr.harvest(env.Proc)
 	hidden, err := crashresist.PlantHiddenRegion(env.Proc, size)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("[defense] hidden region planted (base withheld from attacker)\n")
+	fmt.Fprintf(pr.w, "[defense] hidden region planted (base withheld from attacker)\n")
 
 	var o crashresist.Oracle
 	if name == "ie" {
@@ -101,10 +182,10 @@ func probeBrowser(name string, size, window uint64, seed int64) error {
 	if err != nil {
 		return err
 	}
-	return locate(o, env, hidden, size, window)
+	return pr.locate(o, env, hidden, size, window)
 }
 
-func probeNginx(size, window uint64, seed int64) error {
+func (pr *probeRun) probeNginx(size, window uint64, seed int64) error {
 	srv, err := crashresist.Server("nginx")
 	if err != nil {
 		return err
@@ -113,22 +194,23 @@ func probeNginx(size, window uint64, seed int64) error {
 	if err != nil {
 		return err
 	}
+	defer pr.harvest(env.Proc)
 	hidden, err := crashresist.PlantHiddenRegion(env.Proc, size)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("[defense] hidden region planted (base withheld from attacker)\n")
+	fmt.Fprintf(pr.w, "[defense] hidden region planted (base withheld from attacker)\n")
 	o := crashresist.NewNginxOracle(env)
-	return locateRange(o, hidden, size, window, func() error {
+	return pr.locateRange(o, hidden, size, window, func() error {
 		if !srv.ServiceCheck(env) {
 			return fmt.Errorf("nginx no longer serves after probing")
 		}
-		fmt.Println("[target]  nginx still serves clients after the scan")
+		fmt.Fprintln(pr.w, "[target]  nginx still serves clients after the scan")
 		return nil
 	})
 }
 
-func probeCherokee(requests int, seed int64) error {
+func (pr *probeRun) probeCherokee(requests int, seed int64) error {
 	srv, err := crashresist.Server("cherokee")
 	if err != nil {
 		return err
@@ -137,11 +219,12 @@ func probeCherokee(requests int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	defer pr.harvest(env.Proc)
 	o, err := crashresist.NewCherokeeOracle(env, requests)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("[oracle]  %s calibrated: baseline %d ticks per %d-request batch\n",
+	fmt.Fprintf(pr.w, "[oracle]  %s calibrated: baseline %d ticks per %d-request batch\n",
 		o.Name(), o.Baseline(), o.Requests)
 
 	mod := env.Proc.Modules()[0]
@@ -154,19 +237,23 @@ func probeCherokee(requests int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("[probe]   mapped   %#x: %d ticks (x%.2f)\n", mapped, fast, float64(fast)/float64(o.Baseline()))
-	fmt.Printf("[probe]   unmapped %#x: %d ticks (x%.2f)\n", uint64(0xdead0000), slow, float64(slow)/float64(o.Baseline()))
+	fmt.Fprintf(pr.w, "[probe]   mapped   %#x: %d ticks (x%.2f)\n", mapped, fast, float64(fast)/float64(o.Baseline()))
+	fmt.Fprintf(pr.w, "[probe]   unmapped %#x: %d ticks (x%.2f)\n", uint64(0xdead0000), slow, float64(slow)/float64(o.Baseline()))
 	if env.Proc.Crash != nil {
 		return fmt.Errorf("target crashed: %v", env.Proc.Crash)
 	}
-	fmt.Println("[result]  timing side channel distinguishes mapped from unmapped; zero crashes")
+	fmt.Fprintln(pr.w, "[result]  timing side channel distinguishes mapped from unmapped; zero crashes")
+	pr.doc.Oracle = o.Name()
+	pr.doc.BaselineTicks = o.Baseline()
+	pr.doc.MappedTicks = fast
+	pr.doc.UnmappedTicks = slow
 	return nil
 }
 
 type envLike interface{ Alive() bool }
 
-func locate(o crashresist.Oracle, env envLike, hidden, size, window uint64) error {
-	return locateRange(o, hidden, size, window, func() error {
+func (pr *probeRun) locate(o crashresist.Oracle, env envLike, hidden, size, window uint64) error {
+	return pr.locateRange(o, hidden, size, window, func() error {
 		if !env.Alive() {
 			return fmt.Errorf("target died during the scan")
 		}
@@ -174,19 +261,26 @@ func locate(o crashresist.Oracle, env envLike, hidden, size, window uint64) erro
 	})
 }
 
-func locateRange(o crashresist.Oracle, hidden, size, window uint64, liveness func() error) error {
+func (pr *probeRun) locateRange(o crashresist.Oracle, hidden, size, window uint64, liveness func() error) error {
 	s := crashresist.NewScanner(o)
+	s.Metrics = pr.col
 	lo := hidden - window/2*size
 	hi := hidden + window/2*size
 	if lo < mem.PageSize {
 		lo = mem.PageSize
 	}
-	fmt.Printf("[attack]  scanning [%#x, %#x) with stride %#x via %s\n", lo, hi, size, o.Name())
+	fmt.Fprintf(pr.w, "[attack]  scanning [%#x, %#x) with stride %#x via %s\n", lo, hi, size, o.Name())
 	base, err := s.LocateHiddenRegion(lo, hi, size)
+	pr.doc.Oracle = o.Name()
+	pr.doc.HiddenVA = hidden
+	pr.doc.Probes = s.Stats.Probes
+	pr.doc.Mapped = s.Stats.Mapped
+	pr.doc.Crashes = s.Stats.Crashes
 	if err != nil {
 		return fmt.Errorf("scan failed after %d probes: %w", s.Stats.Probes, err)
 	}
-	fmt.Printf("[attack]  hidden region found at %#x after %d probes (%d mapped hits, %d crashes)\n",
+	pr.doc.LocatedVA = base
+	fmt.Fprintf(pr.w, "[attack]  hidden region found at %#x after %d probes (%d mapped hits, %d crashes)\n",
 		base, s.Stats.Probes, s.Stats.Mapped, s.Stats.Crashes)
 	if base != hidden {
 		return fmt.Errorf("located %#x but the defense planted %#x", base, hidden)
@@ -194,6 +288,7 @@ func locateRange(o crashresist.Oracle, hidden, size, window uint64, liveness fun
 	if s.Stats.Crashes != 0 {
 		return fmt.Errorf("%d crashes observed — not crash resistant", s.Stats.Crashes)
 	}
-	fmt.Println("[result]  information hiding bypassed without a single crash")
+	pr.doc.Located = true
+	fmt.Fprintln(pr.w, "[result]  information hiding bypassed without a single crash")
 	return liveness()
 }

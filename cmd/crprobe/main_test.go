@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 
 	"crashresist"
@@ -36,5 +39,82 @@ func TestBadFlag(t *testing.T) {
 func TestSmokeNginx(t *testing.T) {
 	if err := run([]string{"-target", "nginx"}); err != nil {
 		t.Fatalf("run(-target nginx): %v", err)
+	}
+}
+
+// TestBadFormat checks -format validation wraps ErrBadParams.
+func TestBadFormat(t *testing.T) {
+	err := run([]string{"-format", "xml"})
+	if !errors.Is(err, crashresist.ErrBadParams) {
+		t.Errorf("run(-format xml) = %v, want ErrBadParams", err)
+	}
+}
+
+// TestJSONOutput checks -format=json emits only the machine-readable result
+// document on stdout, with the located region and the run stats attached.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := runTo([]string{"-target", "nginx", "-format", "json"}, &stdout, &stderr); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	var doc probeDoc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Target != "nginx" || !doc.Located {
+		t.Errorf("doc = %+v, want located nginx result", doc)
+	}
+	if doc.LocatedVA != doc.HiddenVA || doc.HiddenVA == 0 {
+		t.Errorf("located %#x, hidden %#x", doc.LocatedVA, doc.HiddenVA)
+	}
+	if doc.Probes == 0 || doc.Crashes != 0 {
+		t.Errorf("probes=%d crashes=%d, want >0 probes and zero crashes", doc.Probes, doc.Crashes)
+	}
+	if doc.Stats == nil {
+		t.Fatal("doc carries no run stats")
+	}
+	if doc.Stats.Counter(crashresist.CtrProbes) == 0 {
+		t.Error("stats counted no probes")
+	}
+	// The narrative must not pollute the JSON stream.
+	if strings.Contains(stdout.String(), "[attack]") {
+		t.Error("narrative lines leaked into JSON stdout")
+	}
+}
+
+// TestJSONOutputCherokee covers the timing-side-channel result shape.
+func TestJSONOutputCherokee(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := runTo([]string{"-target", "cherokee", "-format", "json"}, &stdout, &stderr); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	var doc probeDoc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout not valid JSON: %v", err)
+	}
+	if doc.BaselineTicks == 0 || doc.MappedTicks == 0 || doc.UnmappedTicks == 0 {
+		t.Errorf("timing fields = %d/%d/%d, want all non-zero",
+			doc.BaselineTicks, doc.MappedTicks, doc.UnmappedTicks)
+	}
+	if doc.UnmappedTicks <= doc.MappedTicks {
+		t.Errorf("unmapped %d not slower than mapped %d", doc.UnmappedTicks, doc.MappedTicks)
+	}
+}
+
+// TestMetricsFlag checks -metrics writes the run-stats block to stderr and
+// leaves stdout's narrative intact.
+func TestMetricsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := runTo([]string{"-target", "nginx", "-metrics"}, &stdout, &stderr); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "run stats") {
+		t.Errorf("stderr missing run stats block:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "probes=") {
+		t.Errorf("stderr missing probe counter:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "information hiding bypassed") {
+		t.Errorf("stdout narrative missing:\n%s", stdout.String())
 	}
 }

@@ -55,3 +55,85 @@ func TestEmitJSON(t *testing.T) {
 		t.Error("no fuzzing probes counted")
 	}
 }
+
+// TestTraceExportAndProvenancePaperScale runs the full paper-scale artifact
+// bundle once with the trace writer attached and checks the two
+// machine-readable acceptance surfaces: the Chrome trace validates as JSON
+// with at least one span per pipeline stage of every run, and every
+// primitive row of Tables I/II/III carries a non-empty provenance chain.
+func TestTraceExportAndProvenancePaperScale(t *testing.T) {
+	var out, trace bytes.Buffer
+	cfg := config{table: "all", scale: "paper", format: "json", seed: goldenSeed, workers: 4, traceW: &trace}
+	if err := emit(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var tdoc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &tdoc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	stagesPerRun := map[int]map[string]bool{}
+	kinds := map[string]bool{}
+	for _, ev := range tdoc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		kinds[ev.Cat] = true
+		if ev.Cat == "stage" {
+			if stagesPerRun[ev.Pid] == nil {
+				stagesPerRun[ev.Pid] = map[string]bool{}
+			}
+			stagesPerRun[ev.Pid][ev.Name] = true
+		}
+	}
+	for _, k := range []string{"run", "pipeline", "stage", "shard", "job"} {
+		if !kinds[k] {
+			t.Errorf("trace missing %q spans", k)
+		}
+	}
+	// 9 runs feed the bundle: 5 servers, IE funnel, IE SEH, and the prior-
+	// work IE+Firefox pair. Each must contribute at least one stage span.
+	if len(stagesPerRun) < 9 {
+		t.Errorf("trace covers %d runs, want >= 9", len(stagesPerRun))
+	}
+	for pid, stages := range stagesPerRun {
+		if len(stages) == 0 {
+			t.Errorf("run pid=%d has no stage spans", pid)
+		}
+	}
+
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decode document: %v", err)
+	}
+	for _, rep := range doc.TableI {
+		if len(rep.Findings) != len(rep.Provenance) {
+			t.Errorf("%s: %d findings, %d provenance chains", rep.Server, len(rep.Findings), len(rep.Provenance))
+		}
+		for _, p := range rep.Provenance {
+			if len(p.Chain) == 0 {
+				t.Errorf("%s: primitive %q has an empty chain", rep.Server, p.Primitive)
+			}
+		}
+	}
+	if doc.Funnel == nil || len(doc.Funnel.Provenance) != len(doc.Funnel.Classifications) {
+		t.Error("funnel provenance does not cover the classifications")
+	}
+	if doc.SEH == nil || len(doc.SEH.Provenance) != len(doc.SEH.Candidates) {
+		t.Error("SEH provenance does not cover the candidates")
+	}
+	if doc.SEH != nil {
+		for _, p := range doc.SEH.Provenance {
+			if len(p.Chain) == 0 {
+				t.Errorf("SEH primitive %q has an empty chain", p.Primitive)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		format      = flag.String("format", "text", "output format: text or json")
 		showMetrics = flag.Bool("metrics", false, "print per-run stats to stderr")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
+		traceFile   = flag.String("trace", "", "write all runs' span trees to this file as Chrome trace-event JSON")
 	)
 	flag.Parse()
 
@@ -50,6 +51,15 @@ func main() {
 	}
 	if *showMetrics {
 		cfg.metricsW = os.Stderr
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crtables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.traceW = f
 	}
 	if err := emit(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "crtables:", err)
@@ -71,6 +81,10 @@ type config struct {
 	// metricsW receives each run's stats as text; nil suppresses them.
 	// Metrics never go to the artifact writer, keeping goldens stable.
 	metricsW io.Writer
+	// traceW receives the runs' span trees as one Chrome trace-event JSON
+	// document; nil suppresses the export. Like metricsW it never touches
+	// the artifact writer.
+	traceW io.Writer
 }
 
 // document is the -format=json artifact bundle. Only requested artifacts
@@ -206,6 +220,11 @@ func emit(w io.Writer, cfg config) error {
 	if cfg.metricsW != nil {
 		for _, st := range runs {
 			fmt.Fprint(cfg.metricsW, st.Format())
+		}
+	}
+	if cfg.traceW != nil {
+		if err := crashresist.WriteChromeTrace(cfg.traceW, runs...); err != nil {
+			return fmt.Errorf("write trace: %w", err)
 		}
 	}
 

@@ -147,6 +147,19 @@ type (
 	ExpvarSink = metrics.ExpvarSink
 	// MetricCounter identifies one run counter (CtrInstructions, ...).
 	MetricCounter = metrics.Counter
+	// TraceSpan is one node of a run's span tree (run → pipeline → stage →
+	// shard → job), carried in RunStats.Spans.
+	TraceSpan = metrics.Span
+	// LatencySnapshot is a stage's frozen per-job virtual-cost histogram
+	// with p50/p95/p99/max, carried in StageStats.Latency.
+	LatencySnapshot = metrics.HistSnapshot
+	// MetricsRegistry accumulates completed runs for live exposition:
+	// Prometheus text on /metrics, recent-run Chrome traces on /trace.json.
+	MetricsRegistry = metrics.Registry
+	// PrimitiveProvenance is one report row's evidence chain.
+	PrimitiveProvenance = discover.PrimitiveProvenance
+	// EvidenceStep is one link of a provenance chain.
+	EvidenceStep = discover.EvidenceStep
 )
 
 // Run counters, usable with RunStats.Counter.
@@ -185,8 +198,20 @@ func NewMemorySink() *MemorySink { return metrics.NewMemorySink() }
 func NewJSONSink(w io.Writer) *JSONSink { return metrics.NewJSONSink(w) }
 
 // NewExpvarSink publishes (or reuses) the named expvar map and accumulates
-// counter totals into it.
+// counter totals into it. Safe to call repeatedly with the same name, even
+// concurrently.
 func NewExpvarSink(name string) *ExpvarSink { return metrics.NewExpvarSink(name) }
+
+// NewMetricsRegistry returns an empty live-exposition registry. Attach it
+// with WithSink, then serve registry.Handler() (used by cmd/crmon and
+// `crdiscover -serve`).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WriteChromeTrace writes the runs' span trees to w as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, runs ...*RunStats) error {
+	return metrics.WriteChromeTrace(w, runs...)
+}
 
 // Syscall pipeline statuses (Table I cell legend).
 const (

@@ -67,6 +67,15 @@ var reasonTokens = map[ExclusionReason]string{
 	ReasonUntriggered:    "untriggered",
 }
 
+// Token returns the reason's stable wire name (the JSON token), used for
+// provenance verdicts.
+func (r ExclusionReason) Token() string {
+	if tok, ok := reasonTokens[r]; ok {
+		return tok
+	}
+	return fmt.Sprintf("reason_%d", uint8(r))
+}
+
 // MarshalJSON encodes the reason as a stable string token.
 func (r ExclusionReason) MarshalJSON() ([]byte, error) {
 	tok, ok := reasonTokens[r]
@@ -112,6 +121,10 @@ type APIFunnelReport struct {
 	JSContextAPIs []string `json:"js_context_apis,omitempty"`
 	// Classifications explain each JS-context API's fate.
 	Classifications []APIClassification `json:"classifications,omitempty"`
+	// Provenance holds one evidence chain per classified API (fuzz battery
+	// → browse harvest → controllability verdict). Exported via JSON only;
+	// table formatters never read it.
+	Provenance []PrimitiveProvenance `json:"provenance,omitempty"`
 	// Stats is the run's observability record (never rendered in tables).
 	Stats *metrics.RunStats `json:"stats,omitempty"`
 	// Degraded lists jobs dropped after exhausting their retry budget;
@@ -189,6 +202,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// Stage 2-3: black-box fuzzing of the corpus, sharded per descriptor.
 	results := make([]fuzz.FuncResult, len(ptrAPIs))
 	span = col.StartStage("fuzz", len(ptrAPIs))
+	span.NameJobs(func(i int) string { return "fuzz/" + ptrAPIs[i].Name })
 	fctx, cancel := stageCtx(ctx, a.StageTimeout)
 	err = runIndexed(fctx, a.Workers, len(ptrAPIs), span, func(i int) error {
 		return res.run(fctx, "fuzz", ptrAPIs[i].Name, i, func(int) error {
@@ -198,6 +212,9 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			}
 			col.Add(metrics.CtrProbes, uint64(len(fres.Probes)))
 			harvestVMStats(col, fres.Stats)
+			// The harness processes' summed instruction count is the
+			// job's deterministic cost.
+			span.Observe(fres.Stats.Instructions)
 			results[i] = fres
 			return nil
 		})
@@ -234,7 +251,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	span = col.StartStage("harvest", 0)
 	var obs *browseObservation
 	err = res.run(ctx, "harvest", br.Name, 0, func(int) error {
-		o, err := a.observeBrowse(br, col)
+		o, err := a.observeBrowse(br, col, span)
 		if err != nil {
 			return err
 		}
@@ -271,11 +288,12 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	// one corrupted-replay environment per API.
 	classifications := make([]APIClassification, len(report.JSContextAPIs))
 	span = col.StartStage("classify", len(report.JSContextAPIs))
+	span.NameJobs(func(i int) string { return "classify/" + report.JSContextAPIs[i] })
 	cctx, cancel2 := stageCtx(ctx, a.StageTimeout)
 	err = runIndexed(cctx, a.Workers, len(report.JSContextAPIs), span, func(i int) error {
 		api := report.JSContextAPIs[i]
 		return res.run(cctx, "classify", api, i, func(int) error {
-			cls, err := a.classify(br, api, obs.args[api], invalid, col)
+			cls, err := a.classify(br, api, obs.args[api], invalid, col, span)
 			if err != nil {
 				return fmt.Errorf("classify %s: %w", api, err)
 			}
@@ -298,6 +316,30 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		if cls.Reason == ReasonControllable {
 			report.Controllable++
 		}
+	}
+	fuzzByName := make(map[string]*fuzz.FuncResult, len(results))
+	for i := range results {
+		fuzzByName[results[i].Name] = &results[i]
+	}
+	for _, cls := range report.Classifications {
+		chain := make([]EvidenceStep, 0, 3)
+		if fres := fuzzByName[cls.API]; fres != nil {
+			graceful := 0
+			for _, p := range fres.Probes {
+				if p.Outcome == fuzz.OutcomeGraceful {
+					graceful++
+				}
+			}
+			chain = append(chain, step("fuzz", "crash_resistant",
+				"%d/%d invalid-pointer probes returned gracefully", graceful, len(fres.Probes)))
+		}
+		harvest := step("harvest", "js_context",
+			"observed on the browse path with a call from the scripting context")
+		if arg, ok := obs.args[cls.API]; ok && arg.provOK {
+			harvest.Detail += fmt.Sprintf("; pointer arg %#x stored at %#x", arg.value, arg.prov)
+		}
+		chain = append(chain, harvest, step("classify", cls.Reason.Token(), "%s", cls.Detail))
+		report.Provenance = append(report.Provenance, PrimitiveProvenance{Primitive: cls.API, Chain: chain})
 	}
 	report.Degraded = res.take()
 	stats, err := col.Finish()
@@ -368,7 +410,7 @@ func (a *apiArgTracer) stackInJS(t *vm.Thread) bool {
 }
 
 // observeBrowse runs one instrumented browse.
-func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector) (*browseObservation, error) {
+func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector, span *metrics.Stage) (*browseObservation, error) {
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
 		return nil, err
@@ -394,6 +436,7 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector)
 		return nil, err
 	}
 	browseErr := env.Browse()
+	span.Observe(env.Proc.Clock)
 	harvestVMStats(col, env.Proc.Stats)
 	if browseErr != nil {
 		return nil, browseErr
@@ -403,16 +446,18 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector)
 
 // classify decides an API's exclusion reason from its observed argument and
 // (when a corruptible pointer exists) a corrupted replay.
-func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64, col *metrics.Collector) (APIClassification, error) {
+func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64, col *metrics.Collector, span *metrics.Stage) (APIClassification, error) {
 	cls := APIClassification{API: api}
 	switch {
 	case obs.onStack:
 		cls.Reason = ReasonStackTransient
 		cls.Detail = fmt.Sprintf("pointer %#x lives on a thread stack", obs.value)
+		span.Observe(0)
 		return cls, nil
 	case !obs.provOK:
 		cls.Reason = ReasonVolatile
 		cls.Detail = fmt.Sprintf("pointer %#x has no stored reference", obs.value)
+		span.Observe(0)
 		return cls, nil
 	}
 	cls.Provenance = obs.prov
@@ -424,7 +469,12 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 		return cls, err
 	}
 	env.Proc.FaultPlan = a.FaultPlan
-	defer func() { harvestVMStats(col, env.Proc.Stats) }()
+	defer func() {
+		// The replay's virtual clock is the job's deterministic cost;
+		// statically-excluded APIs above record zero.
+		span.Observe(env.Proc.Clock)
+		harvestVMStats(col, env.Proc.Stats)
+	}()
 	te := taint.New()
 	cor := &corruptingFlow{inner: te, as: env.Proc.AS, target: obs.prov, value: invalid}
 	env.Proc.Flow = cor

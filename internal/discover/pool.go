@@ -47,13 +47,18 @@ func runIndexed(ctx context.Context, workers, n int, span *metrics.Stage, fn fun
 		return ctx.Err()
 	}
 	if workers <= 1 {
+		sh := span.Shard(0)
+		defer sh.End()
 		tasks := 0
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				span.ShardTasks([]int{tasks})
 				return err
 			}
-			if err := fn(i); err != nil {
+			js := sh.Job(i)
+			err := fn(i)
+			js.End()
+			if err != nil {
 				span.ShardTasks([]int{tasks})
 				return err
 			}
@@ -71,6 +76,8 @@ func runIndexed(ctx context.Context, workers, n int, span *metrics.Stage, fn fun
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sh := span.Shard(w)
+			defer sh.End()
 			for {
 				if ctx.Err() != nil {
 					return
@@ -79,7 +86,9 @@ func runIndexed(ctx context.Context, workers, n int, span *metrics.Stage, fn fun
 				if i >= n {
 					return
 				}
+				js := sh.Job(i)
 				errs[i] = fn(i)
+				js.End()
 				tasks[w]++
 				span.JobDone()
 			}
@@ -111,13 +120,18 @@ func runSharded[S any](ctx context.Context, workers, n int, span *metrics.Stage,
 		if err != nil {
 			return err
 		}
+		sh := span.Shard(0)
+		defer sh.End()
 		tasks := 0
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				span.ShardTasks([]int{tasks})
 				return err
 			}
-			if err := fn(s, i); err != nil {
+			js := sh.Job(i)
+			err := fn(s, i)
+			js.End()
+			if err != nil {
 				span.ShardTasks([]int{tasks})
 				return err
 			}
@@ -143,6 +157,8 @@ func runSharded[S any](ctx context.Context, workers, n int, span *metrics.Stage,
 		wg.Add(1)
 		go func(w int, s S) {
 			defer wg.Done()
+			sh := span.Shard(w)
+			defer sh.End()
 			for {
 				if ctx.Err() != nil {
 					return
@@ -151,7 +167,9 @@ func runSharded[S any](ctx context.Context, workers, n int, span *metrics.Stage,
 				if i >= n {
 					return
 				}
+				js := sh.Job(i)
 				errs[i] = fn(s, i)
+				js.End()
 				tasks[w]++
 				span.JobDone()
 			}

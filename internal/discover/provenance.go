@@ -1,0 +1,43 @@
+package discover
+
+// Per-primitive provenance: the evidence chain that carried each discovered
+// primitive through its pipeline's funnel. The paper's final step is manual
+// vetting of the surviving candidates; a chain gives the vetter the same
+// decision trail the pipeline saw — which taint flow nominated a syscall,
+// which probe outcomes classified an API, which symex verdict accepted an
+// SEH filter — without re-running the analysis.
+//
+// Chains live next to Stats in the reports and surface only through
+// -format=json; text-table formatters never read them, so golden tables are
+// unaffected. Every field is derived from the deterministic substrate, so
+// chains are byte-identical at any worker count.
+
+import "fmt"
+
+// EvidenceStep is one link of a provenance chain: what a pipeline stage
+// concluded about the primitive.
+type EvidenceStep struct {
+	// Stage names the pipeline stage that produced the evidence (taint,
+	// validate, fuzz, classify, symex, crossref, ...).
+	Stage string `json:"stage"`
+	// Verdict is the stage's machine-readable conclusion token, empty for
+	// purely informational steps.
+	Verdict string `json:"verdict,omitempty"`
+	// Detail is a human-readable account of the evidence.
+	Detail string `json:"detail,omitempty"`
+}
+
+// PrimitiveProvenance is the evidence chain of one discovered primitive —
+// one report-table row.
+type PrimitiveProvenance struct {
+	// Primitive keys the chain to its table row (syscall name, API name, or
+	// "module/scope" for SEH rows).
+	Primitive string `json:"primitive"`
+	// Chain lists the evidence in pipeline order.
+	Chain []EvidenceStep `json:"chain"`
+}
+
+// step builds one EvidenceStep with a formatted detail.
+func step(stage, verdict, format string, args ...any) EvidenceStep {
+	return EvidenceStep{Stage: stage, Verdict: verdict, Detail: fmt.Sprintf(format, args...)}
+}

@@ -55,6 +55,11 @@ type SEHReport struct {
 	TriggerEvents uint64 `json:"trigger_events"`
 	// Candidates lists the on-path accepting handlers.
 	Candidates []SEHCandidate `json:"candidates,omitempty"`
+	// Provenance holds one evidence chain per candidate (scope-table
+	// extraction → filter symex verdict → coverage cross-ref), keyed
+	// "<module>/scope-<index>". Exported via JSON only; table formatters
+	// never read it.
+	Provenance []PrimitiveProvenance `json:"provenance,omitempty"`
 	// UnknownFilterModules lists modules whose filters need manual
 	// vetting (the §VII-A post-update IE case).
 	UnknownFilterModules []string `json:"unknown_filter_modules,omitempty"`
@@ -113,6 +118,11 @@ type sehSymexResult struct {
 	verdicts       map[uint32]sym.Verdict
 	avFilters      int
 	unknownFilters int
+	// steps sums the symbolic steps across the module's filter analyses —
+	// the module job's deterministic cost. The shared cache replays stored
+	// Reports including their Steps, so the sum is identical no matter
+	// which worker paid for the cache miss.
+	steps uint64
 }
 
 // Analyze extracts every module's scope table, symbolically executes each
@@ -158,6 +168,7 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			return err
 		}
 		browseErr := e.Browse()
+		span.Observe(e.Proc.Clock)
 		harvestVMStats(col, e.Proc.Stats)
 		if browseErr != nil {
 			return browseErr
@@ -222,6 +233,7 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	symex := make([]sehSymexResult, len(libs))
 	symexOK := make([]bool, len(libs))
 	span = col.StartStage("symex", len(work))
+	span.NameJobs(func(w int) string { return "symex/" + libs[work[w]] })
 	sctx, cancel := stageCtx(ctx, a.StageTimeout)
 	err = runSharded(sctx, a.Workers, len(work), span,
 		func() (*sym.Executor, error) {
@@ -246,6 +258,7 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 				if err != nil {
 					return err
 				}
+				span.Observe(sx.steps)
 				symex[i] = sx
 				symexOK[i] = true
 				return nil
@@ -293,6 +306,47 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		return report.Candidates[i].Scope < report.Candidates[j].Scope
 	})
 	sort.Strings(report.UnknownFilterModules)
+
+	// Evidence chains, one per candidate, in candidate order (so provenance
+	// ordering follows the sorted rows, not module load order).
+	invByModule := make(map[string]seh.ModuleInventory, len(work))
+	sxByModule := make(map[string]sehSymexResult, len(work))
+	for _, i := range work {
+		if symexOK[i] {
+			invByModule[libs[i]] = invs[i]
+			sxByModule[libs[i]] = symex[i]
+		}
+	}
+	for _, c := range report.Candidates {
+		var handler seh.Handler
+		for _, h := range invByModule[c.Module].Handlers {
+			if h.Index == c.Scope {
+				handler = h
+				break
+			}
+		}
+		extract := step("extract", "guarded_location",
+			"scope entry %d of %s guards %s", c.Scope, c.Module, c.FuncName)
+		var symexStep EvidenceStep
+		if c.CatchAll {
+			symexStep = step("symex", "catch_all",
+				"catch-all scope entry: no filter, every exception class is accepted")
+		} else {
+			verdict := sxByModule[c.Module].verdicts[handler.Entry.Filter]
+			symexStep = step("symex", verdict.Token(),
+				"filter at offset %#x classified %s by symbolic execution against the AV code",
+				handler.Entry.Filter, verdict)
+		}
+		report.Provenance = append(report.Provenance, PrimitiveProvenance{
+			Primitive: fmt.Sprintf("%s/scope-%d", c.Module, c.Scope),
+			Chain: []EvidenceStep{
+				extract,
+				symexStep,
+				step("crossref", "on_path",
+					"guarded location triggered %d time(s) during the instrumented browse", c.Hits),
+			},
+		})
+	}
 	report.Degraded = res.take()
 	stats, err := col.Finish()
 	if err != nil {
@@ -314,6 +368,7 @@ func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleIn
 		if err != nil {
 			return sehSymexResult{}, err
 		}
+		res.steps += uint64(rep.Steps)
 		res.verdicts[f] = rep.Verdict
 		switch rep.Verdict {
 		case sym.VerdictAccepts:

@@ -94,6 +94,15 @@ var syscallStatusTokens = map[SyscallStatus]string{
 	StatusUsable:           "usable",
 }
 
+// Token returns the status's stable wire name (the JSON token), used for
+// provenance verdicts.
+func (s SyscallStatus) Token() string {
+	if tok, ok := syscallStatusTokens[s]; ok {
+		return tok
+	}
+	return fmt.Sprintf("status_%d", uint8(s))
+}
+
 // MarshalJSON encodes the status as a stable string token.
 func (s SyscallStatus) MarshalJSON() ([]byte, error) {
 	tok, ok := syscallStatusTokens[s]
@@ -163,6 +172,10 @@ type SyscallReport struct {
 	// ObservedOnly lists EFAULT-capable syscalls that ran without any
 	// corruptible pointer.
 	ObservedOnly []string `json:"observed_only,omitempty"`
+	// Provenance holds one evidence chain per finding (taint nomination →
+	// validation verdict), keyed "<syscall>/arg<k>". Exported via JSON only;
+	// table formatters never read it.
+	Provenance []PrimitiveProvenance `json:"provenance,omitempty"`
 	// Stats is the run's observability record. It never feeds table
 	// rendering, so report formatting stays byte-identical.
 	Stats *metrics.RunStats `json:"stats,omitempty"`
@@ -301,12 +314,15 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 
 	findings := make([]Finding, len(candidates))
 	span := col.StartStage("validate", len(candidates))
+	span.NameJobs(func(i int) string {
+		return fmt.Sprintf("validate/%s/arg%d", candidates[i].Syscall, candidates[i].ArgIndex)
+	})
 	vctx, cancel := stageCtx(ctx, a.StageTimeout)
 	err = runIndexed(vctx, a.Workers, len(candidates), span, func(i int) error {
 		cand := candidates[i]
 		jobKey := fmt.Sprintf("%s/%d", cand.Syscall, cand.ArgIndex)
 		return res.run(vctx, "validate", jobKey, i, func(int) error {
-			finding, err := a.validate(srv, cand, invalid, col)
+			finding, err := a.validate(srv, cand, invalid, col, span)
 			if err != nil {
 				return fmt.Errorf("validate %s/%s: %w", srv.Name, cand.Syscall, err)
 			}
@@ -341,6 +357,18 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		}
 		return report.Findings[i].ArgIndex < report.Findings[j].ArgIndex
 	})
+	for _, f := range report.Findings {
+		report.Provenance = append(report.Provenance, PrimitiveProvenance{
+			Primitive: fmt.Sprintf("%s/arg%d", f.Syscall, f.ArgIndex),
+			Chain: []EvidenceStep{
+				step("taint", "corruptible_pointer",
+					"pointer arg %d of %s loaded from writable address %#x with taint mask %#x, observed %d time(s)",
+					f.ArgIndex, f.Syscall, f.Provenance, f.TaintMask, f.Count),
+				step("validate", f.Status.Token(),
+					"pointer storage corrupted to %#x and suite replayed: %s", invalid, f.Detail),
+			},
+		})
+	}
 	report.Degraded = res.take()
 	stats, err := col.Finish()
 	if err != nil {
@@ -401,12 +429,14 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 	span := col.StartStage("taint", 0)
 	if err := env.Boot(); err != nil {
 		// A server that cannot even boot yields an empty observation.
+		span.Observe(env.Proc.Clock)
 		span.End()
 		harvestVMStats(col, env.Proc.Stats)
 		harvestKernelCounts(col, env.Kern.Counts())
 		return observed, nil, nil
 	}
 	suiteErr := srv.Suite(env)
+	span.Observe(env.Proc.Clock)
 	span.End()
 	harvestVMStats(col, env.Proc.Stats)
 	harvestKernelCounts(col, env.Kern.Counts())
@@ -431,7 +461,7 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 
 // validate replays the suite with the candidate's pointer storage corrupted
 // and classifies the outcome.
-func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64, col *metrics.Collector) (Finding, error) {
+func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64, col *metrics.Collector, span *metrics.Stage) (Finding, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
 		return Finding{}, err
@@ -439,6 +469,8 @@ func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid 
 	env.Proc.FaultPlan = a.FaultPlan
 	env.Kern.SetFaultPlan(a.FaultPlan)
 	defer func() {
+		// The replay's virtual clock is the job's deterministic cost.
+		span.Observe(env.Proc.Clock)
 		harvestVMStats(col, env.Proc.Stats)
 		harvestKernelCounts(col, env.Kern.Counts())
 	}()

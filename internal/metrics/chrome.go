@@ -1,0 +1,104 @@
+package metrics
+
+// Chrome trace-event export: renders the span trees of one or more completed
+// runs as a trace-event JSON document loadable in Perfetto or
+// chrome://tracing. Each run becomes one process (pid); run, pipeline and
+// stage spans share thread 1 and every worker lane gets its own thread, so
+// the shard/job structure renders as parallel swimlanes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace-event record. Only the "X" (complete) and "M"
+// (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the document root (the "JSON object format" of the
+// trace-event spec).
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// spanTID maps a span to its swimlane: control spans (run, pipeline, stage)
+// on thread 1, worker lanes on threads 2+.
+func spanTID(s Span) int {
+	if s.Shard < 0 {
+		return 1
+	}
+	return s.Shard + 2
+}
+
+// WriteChromeTrace writes the runs' span trees to w as Chrome trace-event
+// JSON. Runs with no spans contribute only their process-name metadata; a
+// nil run is skipped.
+func WriteChromeTrace(w io.Writer, runs ...*RunStats) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}}
+	for i, r := range runs {
+		if r == nil {
+			continue
+		}
+		pid := i + 1
+		procName := r.Pipeline
+		if r.Target != "" {
+			procName += "/" + r.Target
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": procName},
+		})
+		lanes := map[int]string{1: "pipeline"}
+		for _, s := range r.Spans {
+			if tid := spanTID(s); lanes[tid] == "" {
+				lanes[tid] = fmt.Sprintf("shard-%d", s.Shard)
+			}
+		}
+		for tid := 1; tid <= len(lanes)+1; tid++ {
+			name, ok := lanes[tid]
+			if !ok {
+				continue
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  pid,
+				Tid:  tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, s := range r.Spans {
+			args := map[string]any{"id": s.ID, "kind": s.Kind}
+			if s.Parent != "" {
+				args["parent"] = s.Parent
+			}
+			if s.Job >= 0 {
+				args["job"] = s.Job
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Pid:  pid,
+				Tid:  spanTID(s),
+				Ts:   float64(s.StartNS) / 1e3,
+				Dur:  float64(s.DurNS) / 1e3,
+				Cat:  s.Kind,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

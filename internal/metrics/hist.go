@@ -1,0 +1,187 @@
+package metrics
+
+// Log-bucketed latency histograms: HDR-style powers-of-two buckets over
+// deterministic virtual-cost units ("ticks": emulator clock ticks, retired
+// instructions or symbolic steps, depending on the stage).
+//
+// Determinism contract: every recorded value is a per-job quantity that the
+// pipelines derive from the deterministic substrate, never from wall-clock
+// time, and bucket increments commute. The final bucket contents, count,
+// sum, max and quantiles are therefore identical at any worker count and
+// across repeat runs of the same seed — which is also what makes them safe
+// to merge across shards in any fixed order (the Registry merges completed
+// runs keyed by pipeline/target/stage). Wall-clock durations stay in
+// StageStats.WallNS and span records only.
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count: bucket 0 holds zero values, bucket i
+// (1..64) holds values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Hist is a concurrent log-bucketed histogram. Increments are atomic and
+// commutative, so concurrent recording from pool workers yields identical
+// final contents regardless of scheduling. A nil *Hist ignores Observe.
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot freezes the histogram into its serializable form, nil when
+// nothing was recorded.
+func (h *Hist) Snapshot() *HistSnapshot {
+	if h == nil || h.count.Load() == 0 {
+		return nil
+	}
+	s := &HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Hi: bucketHi(i), N: n})
+		}
+	}
+	s.fillQuantiles()
+	return s
+}
+
+// bucketHi returns the inclusive upper bound of bucket i.
+func bucketHi(i int) uint64 {
+	switch {
+	case i == 0:
+		return 0
+	case i >= 64:
+		return math.MaxUint64
+	default:
+		return (uint64(1) << i) - 1
+	}
+}
+
+// HistBucket is one populated histogram bucket: N values were ≤ Hi (and
+// above the previous bucket's bound).
+type HistBucket struct {
+	// Hi is the bucket's inclusive upper bound.
+	Hi uint64 `json:"hi"`
+	// N counts recorded values in the bucket.
+	N uint64 `json:"n"`
+}
+
+// HistSnapshot is a frozen latency histogram, attached to StageStats and
+// exportable as JSON. Values are deterministic virtual ticks, so snapshots
+// are worker-count-invariant (see the file comment).
+type HistSnapshot struct {
+	// Count is the number of recorded values (one per completed job).
+	Count uint64 `json:"count"`
+	// Sum is the total of all recorded values.
+	Sum uint64 `json:"sum"`
+	// Max is the exact largest recorded value.
+	Max uint64 `json:"max"`
+	// P50, P95 and P99 are bucket-resolution quantiles (the upper bound of
+	// the bucket the quantile falls in, clamped to Max).
+	P50 uint64 `json:"p50"`
+	P95 uint64 `json:"p95"`
+	P99 uint64 `json:"p99"`
+	// Buckets lists the populated buckets in ascending bound order.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the value below which fraction q of recordings fall, at
+// bucket resolution: the upper bound of the covering bucket, clamped to the
+// exact maximum. q outside (0, 1] is clamped.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			if b.Hi > s.Max {
+				return s.Max
+			}
+			return b.Hi
+		}
+	}
+	return s.Max
+}
+
+// fillQuantiles caches the display quantiles.
+func (s *HistSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Merge accumulates another snapshot into s (bucket-wise addition). The
+// operation commutes, so merging shard or run snapshots in any fixed order
+// — the Registry merges by run completion, shard merges happen implicitly
+// through atomic recording — produces identical contents.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	if o == nil {
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	merged := make([]HistBucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Hi < o.Buckets[j].Hi):
+			merged = append(merged, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Hi < s.Buckets[i].Hi:
+			merged = append(merged, o.Buckets[j])
+			j++
+		default:
+			merged = append(merged, HistBucket{Hi: s.Buckets[i].Hi, N: s.Buckets[i].N + o.Buckets[j].N})
+			i++
+			j++
+		}
+	}
+	s.Buckets = merged
+	s.fillQuantiles()
+}
+
+// Clone returns an independent copy of the snapshot.
+func (s *HistSnapshot) Clone() *HistSnapshot {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Buckets = append([]HistBucket(nil), s.Buckets...)
+	return &cp
+}

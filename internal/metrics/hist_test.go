@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketsAndQuantiles(t *testing.T) {
+	var h Hist
+	// 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 100 → bucket 7 (hi=127).
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s == nil {
+		t.Fatal("snapshot nil after observations")
+	}
+	if s.Count != 5 || s.Sum != 106 || s.Max != 100 {
+		t.Errorf("count/sum/max = %d/%d/%d, want 5/106/100", s.Count, s.Sum, s.Max)
+	}
+	want := []HistBucket{{Hi: 0, N: 1}, {Hi: 1, N: 1}, {Hi: 3, N: 2}, {Hi: 127, N: 1}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	// rank(0.5)=3 lands in the [2,3] bucket; the tail quantiles clamp to the
+	// exact max rather than the covering bucket's 127 bound.
+	if s.P50 != 3 {
+		t.Errorf("p50 = %d, want 3", s.P50)
+	}
+	if s.P95 != 100 || s.P99 != 100 {
+		t.Errorf("p95/p99 = %d/%d, want 100/100", s.P95, s.P99)
+	}
+	if got := s.Quantile(1.0); got != 100 {
+		t.Errorf("quantile(1.0) = %d, want 100", got)
+	}
+}
+
+func TestHistEmptyAndNil(t *testing.T) {
+	var h Hist
+	if s := h.Snapshot(); s != nil {
+		t.Errorf("empty histogram snapshot = %+v, want nil", s)
+	}
+	var hp *Hist
+	hp.Observe(7) // must not panic
+	if s := hp.Snapshot(); s != nil {
+		t.Errorf("nil histogram snapshot = %+v, want nil", s)
+	}
+	var sp *HistSnapshot
+	if got := sp.Quantile(0.5); got != 0 {
+		t.Errorf("nil snapshot quantile = %d, want 0", got)
+	}
+	if got := sp.Clone(); got != nil {
+		t.Errorf("nil snapshot clone = %+v, want nil", got)
+	}
+}
+
+func TestHistExtremeBucket(t *testing.T) {
+	var h Hist
+	h.Observe(math.MaxUint64)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Hi != math.MaxUint64 || s.Buckets[0].N != 1 {
+		t.Errorf("buckets = %+v", s.Buckets)
+	}
+	if s.P99 != math.MaxUint64 {
+		t.Errorf("p99 = %d", s.P99)
+	}
+}
+
+// TestHistConcurrentObserveDeterministic is the core invariance property:
+// the same multiset of observations, split across any number of goroutines
+// in any interleaving, snapshots identically. This is what keeps stage
+// latency histograms byte-identical at 1, 4 and 8 pool workers.
+func TestHistConcurrentObserveDeterministic(t *testing.T) {
+	values := make([]uint64, 0, 10000)
+	v := uint64(1)
+	for i := 0; i < 10000; i++ {
+		v = v*6364136223846793005 + 1442695040888963407 // LCG, deterministic
+		values = append(values, v>>40)
+	}
+
+	var want *HistSnapshot
+	for _, workers := range []int{1, 4, 8} {
+		var h Hist
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(values); i += workers {
+					h.Observe(values[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		got := h.Snapshot()
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d snapshot differs:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestHistMergeCommutes checks merge order cannot change the result, which
+// the Registry relies on when folding runs into per-stage series.
+func TestHistMergeCommutes(t *testing.T) {
+	var a, b Hist
+	for _, v := range []uint64{1, 5, 9, 200} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{0, 5, 1 << 30} {
+		b.Observe(v)
+	}
+	ab := a.Snapshot().Clone()
+	ab.Merge(b.Snapshot())
+	ba := b.Snapshot().Clone()
+	ba.Merge(a.Snapshot())
+	if !reflect.DeepEqual(ab, ba) {
+		t.Errorf("merge not commutative:\n a+b %+v\n b+a %+v", ab, ba)
+	}
+	if ab.Count != 7 {
+		t.Errorf("merged count = %d, want 7", ab.Count)
+	}
+	// Merging the same contents observed into a single histogram must agree.
+	var all Hist
+	for _, v := range []uint64{1, 5, 9, 200, 0, 5, 1 << 30} {
+		all.Observe(v)
+	}
+	if !reflect.DeepEqual(ab, all.Snapshot()) {
+		t.Errorf("merged snapshot != single-histogram snapshot:\n%+v\n%+v", ab, all.Snapshot())
+	}
+	// Merge(nil) is a no-op.
+	before := ab.Clone()
+	ab.Merge(nil)
+	if !reflect.DeepEqual(ab, before) {
+		t.Error("Merge(nil) changed the snapshot")
+	}
+}
+
+func TestHistCloneIndependent(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Observe(9)
+	s := h.Snapshot()
+	cp := s.Clone()
+	cp.Buckets[0].N = 999
+	if s.Buckets[0].N == 999 {
+		t.Error("Clone shares bucket storage with the original")
+	}
+}

@@ -189,6 +189,10 @@ type StageStats struct {
 	ShardTasks []int `json:"shard_tasks,omitempty"`
 	// WallNS is the stage's wall-clock duration. Non-deterministic.
 	WallNS int64 `json:"wall_ns"`
+	// Latency is the stage's per-job virtual-cost histogram (nil when the
+	// stage recorded none). Contents are deterministic: identical at any
+	// worker count and across repeat runs of the same seed (see hist.go).
+	Latency *HistSnapshot `json:"latency,omitempty"`
 }
 
 // RunStats is the observability record of one analysis run, attached to the
@@ -204,6 +208,12 @@ type RunStats struct {
 	Counters map[string]uint64 `json:"counters"`
 	// Stages lists the stage spans in execution order.
 	Stages []StageStats `json:"stages,omitempty"`
+	// Spans is the run's hierarchical span tree (run → pipeline → stage →
+	// shard → job), ordered by start time. Span IDs are deterministic;
+	// wall-clock fields and shard placement are not (see span.go).
+	Spans []Span `json:"spans,omitempty"`
+	// SpansDropped counts job spans discarded past the per-run cap.
+	SpansDropped int `json:"spans_dropped,omitempty"`
 	// WallNS is the whole run's wall-clock duration. Non-deterministic.
 	WallNS int64 `json:"wall_ns"`
 }
@@ -242,6 +252,16 @@ func (r *RunStats) Format() string {
 		if len(st.ShardTasks) > 0 {
 			fmt.Fprintf(&b, " shard-tasks=%v", st.ShardTasks)
 		}
+		if st.Latency != nil {
+			fmt.Fprintf(&b, " ticks{p50=%d p95=%d p99=%d max=%d}", st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Max)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Spans) > 0 {
+		fmt.Fprintf(&b, "  spans: %d recorded", len(r.Spans))
+		if r.SpansDropped > 0 {
+			fmt.Fprintf(&b, " (%d job spans dropped past the cap)", r.SpansDropped)
+		}
 		b.WriteString("\n")
 	}
 	return b.String()
@@ -257,26 +277,38 @@ type Collector struct {
 	workers  int
 	start    time.Time
 
+	// runID and pipeID anchor the span tree; derived deterministically
+	// from the run's identity (see span.go).
+	runID  uint64
+	pipeID uint64
+
 	counts [numCounters]atomic.Uint64
 
 	// emitting is non-zero when a progress callback or sink is attached;
 	// workers check it before paying for event serialization.
 	emitting atomic.Bool
 
-	mu       sync.Mutex
-	stages   []StageStats
-	progress func(StageEvent)
-	sinks    []Sink
+	mu           sync.Mutex
+	stages       []StageStats
+	stageSeq     int
+	spans        []Span
+	jobSpans     int
+	spansDropped int
+	progress     func(StageEvent)
+	sinks        []Sink
 }
 
 // NewCollector starts a collector for one pipeline run. workers is the
 // resolved pool bound recorded in the snapshot.
 func NewCollector(pipeline, target string, workers int) *Collector {
+	runID := deriveSpanID(0, SpanRun, target, 0)
 	return &Collector{
 		pipeline: pipeline,
 		target:   target,
 		workers:  workers,
 		start:    time.Now(),
+		runID:    runID,
+		pipeID:   deriveSpanID(runID, SpanPipeline, pipeline, 0),
 	}
 }
 
@@ -334,11 +366,14 @@ func (c *Collector) emit(ev StageEvent) {
 // Stage is one in-flight pipeline span. Obtain via StartStage; a nil *Stage
 // is a valid no-op receiver.
 type Stage struct {
-	c     *Collector
-	name  string
-	jobs  int
-	done  atomic.Int64
-	start time.Time
+	c       *Collector
+	name    string
+	id      uint64
+	jobs    int
+	done    atomic.Int64
+	start   time.Time
+	hist    *Hist
+	jobName func(i int) string
 
 	mu     sync.Mutex
 	shards []int
@@ -352,7 +387,18 @@ func (c *Collector) StartStage(name string, jobs int) *Stage {
 	if c == nil {
 		return nil
 	}
-	s := &Stage{c: c, name: name, jobs: jobs, start: time.Now()}
+	c.mu.Lock()
+	seq := c.stageSeq
+	c.stageSeq++
+	c.mu.Unlock()
+	s := &Stage{
+		c:     c,
+		name:  name,
+		id:    deriveSpanID(c.pipeID, SpanStage, name, seq),
+		jobs:  jobs,
+		start: time.Now(),
+		hist:  new(Hist),
+	}
 	c.emit(StageEvent{Stage: name, Kind: StageBegin, Total: jobs})
 	return s
 }
@@ -403,10 +449,21 @@ func (s *Stage) End() {
 		Jobs:       s.jobs,
 		ShardTasks: shards,
 		WallNS:     time.Since(s.start).Nanoseconds(),
+		Latency:    s.hist.Snapshot(),
 	}
 	s.c.mu.Lock()
 	s.c.stages = append(s.c.stages, st)
 	s.c.mu.Unlock()
+	s.c.appendSpan(Span{
+		ID:      spanID(s.id),
+		Parent:  spanID(s.c.pipeID),
+		Kind:    SpanStage,
+		Name:    s.name,
+		Shard:   -1,
+		Job:     -1,
+		StartNS: s.start.Sub(s.c.start).Nanoseconds(),
+		DurNS:   st.WallNS,
+	})
 	s.c.emit(StageEvent{Stage: s.name, Kind: StageEnd, Done: done, Total: s.jobs})
 }
 
@@ -421,16 +478,26 @@ func (c *Collector) Snapshot() *RunStats {
 			counters[i.String()] = v
 		}
 	}
+	wall := time.Since(c.start).Nanoseconds()
 	c.mu.Lock()
 	stages := append([]StageStats(nil), c.stages...)
+	spans := make([]Span, 0, len(c.spans)+2)
+	spans = append(spans,
+		Span{ID: spanID(c.runID), Kind: SpanRun, Name: c.target, Shard: -1, Job: -1, DurNS: wall},
+		Span{ID: spanID(c.pipeID), Parent: spanID(c.runID), Kind: SpanPipeline, Name: c.pipeline, Shard: -1, Job: -1, DurNS: wall})
+	spans = append(spans, c.spans...)
+	dropped := c.spansDropped
 	c.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
 	return &RunStats{
-		Pipeline: c.pipeline,
-		Target:   c.target,
-		Workers:  c.workers,
-		Counters: counters,
-		Stages:   stages,
-		WallNS:   time.Since(c.start).Nanoseconds(),
+		Pipeline:     c.pipeline,
+		Target:       c.target,
+		Workers:      c.workers,
+		Counters:     counters,
+		Stages:       stages,
+		Spans:        spans,
+		SpansDropped: dropped,
+		WallNS:       wall,
 	}
 }
 

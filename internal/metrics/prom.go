@@ -1,0 +1,257 @@
+package metrics
+
+// Prometheus text-format exposition and the live serving surface. Registry
+// is a Sink that accumulates completed runs — counter totals keyed by
+// (pipeline, target), latency histograms merged per (pipeline, target,
+// stage) — and renders them in Prometheus exposition format. Handler wires
+// the registry, expvar and net/http/pprof into one mux for cmd/crmon and
+// `crdiscover -serve`.
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// tracedRuns bounds the recent-run ring served on /trace.json.
+const tracedRuns = 8
+
+// promLabels identifies one counter series.
+type promLabels struct {
+	pipeline string
+	target   string
+}
+
+// promStageLabels identifies one histogram series.
+type promStageLabels struct {
+	pipeline string
+	target   string
+	stage    string
+}
+
+// Registry accumulates completed runs for live exposition. It implements
+// Sink, is safe for concurrent use, and can be attached to any number of
+// analyses in one process.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[promLabels]map[string]uint64
+	runs     map[promLabels]uint64
+	wallNS   map[promLabels]int64
+	hists    map[promStageLabels]*HistSnapshot
+	recent   []*RunStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[promLabels]map[string]uint64),
+		runs:     make(map[promLabels]uint64),
+		wallNS:   make(map[promLabels]int64),
+		hists:    make(map[promStageLabels]*HistSnapshot),
+	}
+}
+
+// Event implements Sink (no-op: the registry aggregates completed runs).
+func (g *Registry) Event(StageEvent) {}
+
+// Flush implements Sink, folding one completed run into the registry.
+func (g *Registry) Flush(stats *RunStats) error {
+	if g == nil || stats == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := promLabels{pipeline: stats.Pipeline, target: stats.Target}
+	cm := g.counters[key]
+	if cm == nil {
+		cm = make(map[string]uint64)
+		g.counters[key] = cm
+	}
+	for name, v := range stats.Counters {
+		cm[name] += v
+	}
+	g.runs[key]++
+	g.wallNS[key] = stats.WallNS
+	for _, st := range stats.Stages {
+		if st.Latency == nil {
+			continue
+		}
+		hk := promStageLabels{pipeline: stats.Pipeline, target: stats.Target, stage: st.Name}
+		h := g.hists[hk]
+		if h == nil {
+			h = &HistSnapshot{}
+			g.hists[hk] = h
+		}
+		h.Merge(st.Latency)
+	}
+	g.recent = append(g.recent, stats)
+	if len(g.recent) > tracedRuns {
+		g.recent = g.recent[len(g.recent)-tracedRuns:]
+	}
+	return nil
+}
+
+// Runs returns the retained recent run snapshots, oldest first.
+func (g *Registry) Runs() []*RunStats {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*RunStats(nil), g.recent...)
+}
+
+// promLabelPair renders the {pipeline,target} label set.
+func (l promLabels) String() string {
+	return fmt.Sprintf(`pipeline=%q,target=%q`, l.pipeline, l.target)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): one counter family per run counter, a summary-style
+// family for stage latency quantiles, and a cumulative bucket family.
+// Series are emitted in sorted order so scrapes are diff-stable.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	type counterSeries struct {
+		name   string
+		labels promLabels
+		v      uint64
+	}
+	var counters []counterSeries
+	for labels, cm := range g.counters {
+		for name, v := range cm {
+			counters = append(counters, counterSeries{name: name, labels: labels, v: v})
+		}
+	}
+	type runSeries struct {
+		labels promLabels
+		runs   uint64
+		wallNS int64
+	}
+	var runs []runSeries
+	for labels, n := range g.runs {
+		runs = append(runs, runSeries{labels: labels, runs: n, wallNS: g.wallNS[labels]})
+	}
+	type histSeries struct {
+		labels promStageLabels
+		h      *HistSnapshot
+	}
+	var hists []histSeries
+	for labels, h := range g.hists {
+		hists = append(hists, histSeries{labels: labels, h: h.Clone()})
+	}
+	g.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		a, b := counters[i], counters[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.labels.pipeline != b.labels.pipeline {
+			return a.labels.pipeline < b.labels.pipeline
+		}
+		return a.labels.target < b.labels.target
+	})
+	sort.Slice(runs, func(i, j int) bool {
+		a, b := runs[i], runs[j]
+		if a.labels.pipeline != b.labels.pipeline {
+			return a.labels.pipeline < b.labels.pipeline
+		}
+		return a.labels.target < b.labels.target
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		a, b := hists[i].labels, hists[j].labels
+		if a.pipeline != b.pipeline {
+			return a.pipeline < b.pipeline
+		}
+		if a.target != b.target {
+			return a.target < b.target
+		}
+		return a.stage < b.stage
+	})
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, c := range counters {
+		family := "crashresist_" + c.name + "_total"
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s Run counter %q accumulated across completed analyses.\n", family, c.name)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(&b, "%s{%s} %d\n", family, c.labels, c.v)
+	}
+	if len(runs) > 0 {
+		b.WriteString("# HELP crashresist_runs_total Completed analysis runs.\n")
+		b.WriteString("# TYPE crashresist_runs_total counter\n")
+		for _, r := range runs {
+			fmt.Fprintf(&b, "crashresist_runs_total{%s} %d\n", r.labels, r.runs)
+		}
+		b.WriteString("# HELP crashresist_last_run_wall_seconds Wall-clock duration of the most recent run.\n")
+		b.WriteString("# TYPE crashresist_last_run_wall_seconds gauge\n")
+		for _, r := range runs {
+			fmt.Fprintf(&b, "crashresist_last_run_wall_seconds{%s} %g\n", r.labels, float64(r.wallNS)/1e9)
+		}
+	}
+	if len(hists) > 0 {
+		b.WriteString("# HELP crashresist_stage_latency_ticks Per-job virtual-cost distribution by stage (deterministic ticks).\n")
+		b.WriteString("# TYPE crashresist_stage_latency_ticks summary\n")
+		for _, h := range hists {
+			labels := fmt.Sprintf(`pipeline=%q,target=%q,stage=%q`, h.labels.pipeline, h.labels.target, h.labels.stage)
+			for _, q := range []struct {
+				q string
+				v uint64
+			}{{"0.5", h.h.P50}, {"0.95", h.h.P95}, {"0.99", h.h.P99}} {
+				fmt.Fprintf(&b, "crashresist_stage_latency_ticks{%s,quantile=%q} %d\n", labels, q.q, q.v)
+			}
+			fmt.Fprintf(&b, "crashresist_stage_latency_ticks_sum{%s} %d\n", labels, h.h.Sum)
+			fmt.Fprintf(&b, "crashresist_stage_latency_ticks_count{%s} %d\n", labels, h.h.Count)
+		}
+		b.WriteString("# HELP crashresist_stage_latency_ticks_bucket Cumulative per-job virtual-cost buckets by stage.\n")
+		b.WriteString("# TYPE crashresist_stage_latency_ticks_bucket counter\n")
+		for _, h := range hists {
+			labels := fmt.Sprintf(`pipeline=%q,target=%q,stage=%q`, h.labels.pipeline, h.labels.target, h.labels.stage)
+			var cum uint64
+			for _, bk := range h.h.Buckets {
+				cum += bk.N
+				fmt.Fprintf(&b, "crashresist_stage_latency_ticks_bucket{%s,le=%q} %d\n", labels, fmt.Sprintf("%d", bk.Hi), cum)
+			}
+			fmt.Fprintf(&b, "crashresist_stage_latency_ticks_bucket{%s,le=\"+Inf\"} %d\n", labels, cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the live serving surface: /metrics (Prometheus text),
+// /trace.json (Chrome trace of the recent runs), /debug/vars (expvar),
+// /debug/pprof (runtime profiles) and /healthz.
+func (g *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, g.Runs()...)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// registryWithRun returns a registry holding one traced run.
+func registryWithRun(t *testing.T) *Registry {
+	t.Helper()
+	g := NewRegistry()
+	stats := buildTracedRun(t, 2)
+	if err := g.Flush(stats); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	g := registryWithRun(t)
+	var buf strings.Builder
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`crashresist_pool_tasks_total{pipeline="seh",target="iexplore"} 4`,
+		`crashresist_runs_total{pipeline="seh",target="iexplore"} 1`,
+		`crashresist_last_run_wall_seconds{pipeline="seh",target="iexplore"}`,
+		`crashresist_stage_latency_ticks{pipeline="seh",target="iexplore",stage="symex",quantile="0.5"}`,
+		`crashresist_stage_latency_ticks{pipeline="seh",target="iexplore",stage="symex",quantile="0.99"}`,
+		`crashresist_stage_latency_ticks_sum{pipeline="seh",target="iexplore",stage="symex"} 1000`,
+		`crashresist_stage_latency_ticks_count{pipeline="seh",target="iexplore",stage="symex"} 4`,
+		`,le="+Inf"} 4`,
+		"# TYPE crashresist_runs_total counter",
+		"# TYPE crashresist_stage_latency_ticks summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryAccumulatesAcrossRuns(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < 3; i++ {
+		if err := g.Flush(buildTracedRun(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `crashresist_runs_total{pipeline="seh",target="iexplore"} 3`) {
+		t.Errorf("runs_total not accumulated:\n%s", out)
+	}
+	if !strings.Contains(out, `crashresist_stage_latency_ticks_count{pipeline="seh",target="iexplore",stage="symex"} 12`) {
+		t.Errorf("histogram count not merged across runs:\n%s", out)
+	}
+	if got := len(g.Runs()); got != 3 {
+		t.Errorf("retained runs = %d, want 3", got)
+	}
+}
+
+func TestRegistryRecentRunRing(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < tracedRuns+5; i++ {
+		if err := g.Flush(buildTracedRun(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(g.Runs()); got != tracedRuns {
+		t.Errorf("ring holds %d runs, want %d", got, tracedRuns)
+	}
+}
+
+func TestRegistryExpositionStable(t *testing.T) {
+	g := registryWithRun(t)
+	var a, b strings.Builder
+	if err := g.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("consecutive scrapes of an idle registry differ")
+	}
+}
+
+func TestRegistryHandlerEndpoints(t *testing.T) {
+	g := registryWithRun(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "crashresist_runs_total") {
+		t.Errorf("/metrics missing runs_total:\n%s", body)
+	}
+
+	body, ctype = get("/trace.json")
+	if ctype != "application/json" {
+		t.Errorf("/trace.json content type = %q", ctype)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace.json not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("/trace.json missing traceEvents")
+	}
+
+	body, _ = get("/debug/vars")
+	if !json.Valid([]byte(body)) {
+		t.Error("/debug/vars not valid JSON")
+	}
+
+	body, _ = get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var g *Registry
+	if err := g.Flush(&RunStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Runs(); got != nil {
+		t.Errorf("nil registry runs = %v", got)
+	}
+}
+
+// TestExpvarSinkNonMapCollision is the regression test for the
+// double-registration panic: registering a sink whose name collides with an
+// already-published non-Map expvar must fall back to a private map instead
+// of panicking inside expvar.Publish.
+func TestExpvarSinkNonMapCollision(t *testing.T) {
+	name := "crashresist_test_collision"
+	expvar.NewString(name).Set("occupied")
+	s := NewExpvarSink(name) // must not panic
+	if err := s.Flush(&RunStats{Counters: map[string]uint64{"probes": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.m.Get("probes").String(); got != "2" {
+		t.Errorf("fallback map probes = %s, want 2", got)
+	}
+	// The published variable is untouched.
+	if got := expvar.Get(name).String(); got != `"occupied"` {
+		t.Errorf("published var = %s, want \"occupied\"", got)
+	}
+}
+
+// TestExpvarSinkConcurrentRegistration hammers get-or-publish from many
+// goroutines; pre-fix this panicked with "Reuse of exported var name".
+func TestExpvarSinkConcurrentRegistration(t *testing.T) {
+	const name = "crashresist_test_concurrent"
+	var wg sync.WaitGroup
+	sinks := make([]*ExpvarSink, 16)
+	for i := range sinks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sinks[i] = NewExpvarSink(name)
+			sinks[i].Flush(&RunStats{Counters: map[string]uint64{"probes": 1}})
+		}(i)
+	}
+	wg.Wait()
+	// All sinks share the one published map.
+	if got := sinks[0].m.Get("probes").String(); got != "16" {
+		t.Errorf("probes = %s, want 16", got)
+	}
+}

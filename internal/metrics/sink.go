@@ -88,12 +88,27 @@ type ExpvarSink struct {
 	m *expvar.Map
 }
 
-// NewExpvarSink publishes (or reuses) the named expvar map.
+// expvarMu serializes expvar registration: expvar.Get followed by
+// expvar.NewMap races when two goroutines construct sinks with the same name
+// concurrently, and NewMap panics outright when the name is already
+// published. The mutex makes get-or-publish atomic for this package.
+var expvarMu sync.Mutex
+
+// NewExpvarSink publishes (or reuses) the named expvar map. Safe to call any
+// number of times with the same name, concurrently included: later calls
+// accumulate into the first registration's map. If the name is already
+// published as something other than an *expvar.Map, the sink falls back to a
+// private unpublished map instead of panicking.
 func NewExpvarSink(name string) *ExpvarSink {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
 	if v := expvar.Get(name); v != nil {
 		if m, ok := v.(*expvar.Map); ok {
 			return &ExpvarSink{m: m}
 		}
+		m := new(expvar.Map)
+		m.Init()
+		return &ExpvarSink{m: m}
 	}
 	return &ExpvarSink{m: expvar.NewMap(name)}
 }

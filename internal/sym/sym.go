@@ -84,6 +84,15 @@ var verdictTokens = map[Verdict]string{
 	VerdictUnknown: "unknown",
 }
 
+// Token returns the verdict's stable wire name (the JSON token), used for
+// provenance records.
+func (v Verdict) Token() string {
+	if tok, ok := verdictTokens[v]; ok {
+		return tok
+	}
+	return fmt.Sprintf("verdict_%d", uint8(v))
+}
+
 // MarshalJSON encodes the verdict as a stable string token.
 func (v Verdict) MarshalJSON() ([]byte, error) {
 	tok, ok := verdictTokens[v]

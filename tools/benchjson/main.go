@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark manifest on stdout, so CI can archive machine-readable results
+// (BENCH_PR5.json) next to the raw benchstat-comparable text:
+//
+//	go test -bench=. -benchtime=1x -count=1 ./... | tee bench.txt | benchjson > BENCH_PR5.json
+//
+// The parser understands the standard benchmark result line — name,
+// iteration count, then (value, unit) pairs such as ns/op, B/op, allocs/op
+// and any custom ReportMetric units — and passes everything else through to
+// the "log" field untouched, so failures stay visible in the artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with its -cpu suffix intact
+	// (e.g. "BenchmarkTableIII-8").
+	Name string `json:"name"`
+	// Package is the enclosing "pkg:" context, when the stream carried one.
+	Package string `json:"package,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every (value, unit) pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the output manifest.
+type Doc struct {
+	// Goos/Goarch echo the stream's platform header lines, when present.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// Results lists the parsed benchmark lines in input order.
+	Results []Result `json:"results"`
+	// Log keeps the unparsed remainder (ok/FAIL lines, failures).
+	Log []string `json:"log,omitempty"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes a benchmark stream and builds the manifest.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				doc.Log = append(doc.Log, line)
+				continue
+			}
+			res.Package = pkg
+			doc.Results = append(doc.Results, res)
+		case strings.TrimSpace(line) == "" || strings.HasPrefix(line, "cpu: "):
+			// drop noise
+		default:
+			doc.Log = append(doc.Log, line)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-8  10  123 ns/op  4 B/op" line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// name, iterations, then at least one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: crashresist
+cpu: some cpu model
+BenchmarkTableIII-8   	       1	 512345678 ns/op	  736512 trigger-events	      42 candidates
+BenchmarkTableI-8     	       2	 100000000 ns/op
+PASS
+ok  	crashresist	1.234s
+`
+
+func TestParseStream(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkTableIII-8" || r.Package != "crashresist" || r.Iterations != 1 {
+		t.Errorf("result 0 header = %+v", r)
+	}
+	want := map[string]float64{"ns/op": 512345678, "trigger-events": 736512, "candidates": 42}
+	if !reflect.DeepEqual(r.Metrics, want) {
+		t.Errorf("metrics = %v, want %v", r.Metrics, want)
+	}
+	if doc.Results[1].Metrics["ns/op"] != 100000000 {
+		t.Errorf("result 1 metrics = %v", doc.Results[1].Metrics)
+	}
+	// PASS/ok lines land in the log, cpu/blank lines are dropped.
+	if len(doc.Log) != 2 || doc.Log[0] != "PASS" {
+		t.Errorf("log = %q", doc.Log)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken-8 not-a-number 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Errorf("malformed line parsed: %+v", doc.Results)
+	}
+	if len(doc.Log) != 1 {
+		t.Errorf("malformed line not preserved in log: %q", doc.Log)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 || len(doc.Log) != 0 {
+		t.Errorf("empty stream produced %+v", doc)
+	}
+}
