@@ -22,6 +22,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=30s ./internal/isa
 	$(GO) test -fuzz=FuzzImageParse -fuzztime=30s ./internal/bin
 	$(GO) test -fuzz=FuzzScopeTableParse -fuzztime=30s ./internal/seh
+	$(GO) test -fuzz=FuzzCacheEntryDecode -fuzztime=30s ./internal/cas
 
 # chaos runs the full paper-scale fault-injection sweep under the race
 # detector; tier-1 (`make test`/`make race`) only runs the trimmed sweep.

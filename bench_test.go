@@ -192,6 +192,31 @@ func BenchmarkTableIIIParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTableIIIWarmCache measures the warm-path win of the persistent
+// analysis cache: one cold run populates a cache directory before the
+// timer, then every timed iteration replays the full Table III pipeline
+// from disk. Compare against BenchmarkTableIIISequential for the
+// cold/warm ratio; the shape assertions prove the cached replay is the
+// same result, not a shortcut.
+func BenchmarkTableIIIWarmCache(b *testing.B) {
+	cache, err := OpenAnalysisCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := benchSEHReport(b, WithWorkers(1), WithCache(cache))
+	checkTableIII(b, rep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := benchSEHReport(b, WithWorkers(1), WithCache(cache))
+		checkTableIII(b, rep)
+		hits := rep.Stats.Counter(CtrCacheHits)
+		if hits < 180 {
+			b.Fatalf("warm run hit only %d cached modules", hits)
+		}
+		b.ReportMetric(float64(hits), "cache-hits")
+	}
+}
+
 // BenchmarkTableIParallel runs the five server pipelines concurrently
 // (per-server fan-out plus per-candidate validation fan-out).
 func BenchmarkTableIParallel(b *testing.B) {

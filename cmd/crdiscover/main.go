@@ -9,6 +9,7 @@
 //	crdiscover -target ie -trace t.json      # Chrome trace-event export
 //	crdiscover -target ie -serve :9090       # live /metrics, /trace.json,
 //	                                         # /debug/vars, /debug/pprof
+//	crdiscover -target nginx -cache-dir ~/.cache/crashresist
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -26,28 +28,44 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "crdiscover:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole command behind process setup: it parses args with its
+// own FlagSet and writes the report to stdout and diagnostics to stderr,
+// so tests can drive it end to end without exec'ing the binary.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crdiscover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		target      = flag.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
-		pipeline    = flag.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		scale       = flag.String("scale", "small", "browser corpus scale: paper or small")
-		seed        = flag.Int64("seed", 42, "analysis seed")
-		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
-		format      = flag.String("format", "text", "output format: text or json")
-		showMetrics = flag.Bool("metrics", false, "print run stats to stderr")
-		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
-		traceFile   = flag.String("trace", "", "write the run's span tree to this file as Chrome trace-event JSON")
-		serveAddr   = flag.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
+		target      = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
+		pipeline    = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
+		scale       = fs.String("scale", "small", "browser corpus scale: paper or small")
+		seed        = fs.Int64("seed", 42, "analysis seed")
+		workers     = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		format      = fs.String("format", "text", "output format: text or json")
+		showMetrics = fs.Bool("metrics", false, "print run stats to stderr")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
+		traceFile   = fs.String("trace", "", "write the run's span tree to this file as Chrome trace-event JSON")
+		serveAddr   = fs.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
+		cacheDir    = fs.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := []crashresist.Option{crashresist.WithWorkers(*workers)}
+	if *cacheDir != "" {
+		if c, err := crashresist.OpenAnalysisCache(*cacheDir); err != nil {
+			// A broken cache dir costs recomputation, never the run.
+			fmt.Fprintf(stderr, "crdiscover: cache disabled: %v\n", err)
+		} else {
+			opts = append(opts, crashresist.WithCache(c))
+		}
+	}
 	if *chaosSeed != 0 {
 		opts = append(opts,
 			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(*chaosSeed)),
@@ -61,13 +79,13 @@ func run() error {
 		reg = crashresist.NewMetricsRegistry()
 		opts = append(opts, crashresist.WithSink(reg))
 	}
-	finish := func() error { return finishObservability(reg, *traceFile, *serveAddr != "") }
+	finish := func() error { return finishObservability(stderr, reg, *traceFile, *serveAddr != "") }
 	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "crdiscover: serving http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(stderr, "crdiscover: serving http://%s/metrics\n", ln.Addr())
 		go func() { _ = http.Serve(ln, reg.Handler()) }()
 	}
 
@@ -91,7 +109,7 @@ func run() error {
 		if pl != "syscall" {
 			return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 		}
-		if err := runServer(*target, *seed, opts, *format, *showMetrics); err != nil {
+		if err := runServer(stdout, stderr, *target, *seed, opts, *format, *showMetrics); err != nil {
 			return err
 		}
 		return finish()
@@ -120,52 +138,52 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		emitMetrics(rep.Stats, *showMetrics)
+		emitMetrics(stderr, rep.Stats, *showMetrics)
 		if *format == "json" {
-			if err := printJSON(rep); err != nil {
+			if err := printJSON(stdout, rep); err != nil {
 				return err
 			}
 			return finish()
 		}
-		fmt.Println(crashresist.FormatFunnel(rep))
-		printDegraded(rep.Degraded)
+		fmt.Fprintln(stdout, crashresist.FormatFunnel(rep))
+		printDegraded(stdout, rep.Degraded)
 		return finish()
 	case "seh":
 		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, opts...)
 		if err != nil {
 			return err
 		}
-		emitMetrics(rep.Stats, *showMetrics)
+		emitMetrics(stderr, rep.Stats, *showMetrics)
 		if *format == "json" {
-			if err := printJSON(rep); err != nil {
+			if err := printJSON(stdout, rep); err != nil {
 				return err
 			}
 			return finish()
 		}
-		fmt.Println(crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
-		fmt.Println(crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
-		fmt.Printf("on-path candidates (%d):\n", len(rep.Candidates))
+		fmt.Fprintln(stdout, crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
+		fmt.Fprintln(stdout, crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
+		fmt.Fprintf(stdout, "on-path candidates (%d):\n", len(rep.Candidates))
 		for _, c := range rep.Candidates {
 			kind := "filter"
 			if c.CatchAll {
 				kind = "catch-all"
 			}
-			fmt.Printf("  %-16s scope %-4d %-24s %-9s hits %d\n",
+			fmt.Fprintf(stdout, "  %-16s scope %-4d %-24s %-9s hits %d\n",
 				c.Module, c.Scope, c.FuncName, kind, c.Hits)
 			if len(rep.Candidates) > 40 && c.Hits > 0 {
 				// keep terminal output bounded at paper scale
 			}
 		}
 		if len(rep.VEHFindings) > 0 {
-			fmt.Printf("\nvectored-handler registrations (static scan, §VII-A extension):\n")
+			fmt.Fprintf(stdout, "\nvectored-handler registrations (static scan, §VII-A extension):\n")
 			for _, f := range rep.VEHFindings {
-				fmt.Printf("  %s\n", f)
+				fmt.Fprintf(stdout, "  %s\n", f)
 			}
 		}
 		pw := crashresist.PriorWork(rep)
-		fmt.Printf("\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
+		fmt.Fprintf(stdout, "\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
 			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
-		printDegraded(rep.Degraded)
+		printDegraded(stdout, rep.Degraded)
 		return finish()
 	default:
 		return fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
@@ -175,7 +193,7 @@ func run() error {
 // finishObservability runs after a successful analysis: it writes the
 // requested Chrome trace from the registry's recorded runs and, in -serve
 // mode, blocks until the process is interrupted so the endpoints stay up.
-func finishObservability(reg *crashresist.MetricsRegistry, traceFile string, serving bool) error {
+func finishObservability(stderr io.Writer, reg *crashresist.MetricsRegistry, traceFile string, serving bool) error {
 	if reg == nil {
 		return nil
 	}
@@ -191,18 +209,18 @@ func finishObservability(reg *crashresist.MetricsRegistry, traceFile string, ser
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "crdiscover: wrote Chrome trace to %s\n", traceFile)
+		fmt.Fprintf(stderr, "crdiscover: wrote Chrome trace to %s\n", traceFile)
 	}
 	if serving {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		fmt.Fprintln(os.Stderr, "crdiscover: analysis complete; serving until interrupted")
+		fmt.Fprintln(stderr, "crdiscover: analysis complete; serving until interrupted")
 		<-ctx.Done()
 	}
 	return nil
 }
 
-func runServer(name string, seed int64, opts []crashresist.Option, format string, showMetrics bool) error {
+func runServer(stdout, stderr io.Writer, name string, seed int64, opts []crashresist.Option, format string, showMetrics bool) error {
 	srv, err := crashresist.Server(name)
 	if err != nil {
 		return err
@@ -211,47 +229,47 @@ func runServer(name string, seed int64, opts []crashresist.Option, format string
 	if err != nil {
 		return err
 	}
-	emitMetrics(rep.Stats, showMetrics)
+	emitMetrics(stderr, rep.Stats, showMetrics)
 	if format == "json" {
-		return printJSON(rep)
+		return printJSON(stdout, rep)
 	}
-	fmt.Printf("syscall pipeline report for %s\n\n", rep.Server)
-	fmt.Printf("%-12s %-18s\n", "syscall", "status")
+	fmt.Fprintf(stdout, "syscall pipeline report for %s\n\n", rep.Server)
+	fmt.Fprintf(stdout, "%-12s %-18s\n", "syscall", "status")
 	for _, sc := range crashresist.TableISyscalls() {
-		fmt.Printf("%-12s %-18s\n", sc, rep.Status[sc])
+		fmt.Fprintf(stdout, "%-12s %-18s\n", sc, rep.Status[sc])
 	}
-	fmt.Printf("\nvalidated candidates (%d):\n", len(rep.Findings))
+	fmt.Fprintf(stdout, "\nvalidated candidates (%d):\n", len(rep.Findings))
 	for _, f := range rep.Findings {
-		fmt.Printf("  %-12s arg%d prov=%#x taint=%#x seen=%d → %s\n     %s\n",
+		fmt.Fprintf(stdout, "  %-12s arg%d prov=%#x taint=%#x seen=%d → %s\n     %s\n",
 			f.Syscall, f.ArgIndex, f.Provenance, f.TaintMask, f.Count, f.Status, f.Detail)
 	}
-	fmt.Printf("\nusable crash-resistant primitives: %v\n", rep.Usable())
-	printDegraded(rep.Degraded)
+	fmt.Fprintf(stdout, "\nusable crash-resistant primitives: %v\n", rep.Usable())
+	printDegraded(stdout, rep.Degraded)
 	return nil
 }
 
 // printDegraded lists jobs dropped by graceful degradation. Prints nothing
 // for a clean run, so injection-off output is unchanged.
-func printDegraded(degraded []crashresist.Degraded) {
+func printDegraded(w io.Writer, degraded []crashresist.Degraded) {
 	if len(degraded) == 0 {
 		return
 	}
-	fmt.Printf("\ndegraded jobs (%d):\n", len(degraded))
+	fmt.Fprintf(w, "\ndegraded jobs (%d):\n", len(degraded))
 	for _, d := range degraded {
-		fmt.Printf("  %-10s %-24s attempts=%d  %s\n", d.Stage, d.Key, d.Attempts, d.Err)
+		fmt.Fprintf(w, "  %-10s %-24s attempts=%d  %s\n", d.Stage, d.Key, d.Attempts, d.Err)
 	}
 }
 
-// printJSON writes an indented JSON report to stdout.
-func printJSON(v any) error {
-	enc := json.NewEncoder(os.Stdout)
+// printJSON writes an indented JSON report to w.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
 }
 
 // emitMetrics writes run stats to stderr when requested.
-func emitMetrics(st *crashresist.RunStats, show bool) {
+func emitMetrics(w io.Writer, st *crashresist.RunStats, show bool) {
 	if show && st != nil {
-		fmt.Fprint(os.Stderr, st.Format())
+		fmt.Fprint(w, st.Format())
 	}
 }

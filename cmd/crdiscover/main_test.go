@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runString drives the whole command and returns stdout, stderr and the
+// error.
+func runString(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestRunServerText(t *testing.T) {
+	out, _, err := runString(t, "-target", "nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "syscall pipeline report for nginx") {
+		t.Errorf("missing report header:\n%s", out)
+	}
+	if !strings.Contains(out, "usable crash-resistant primitives") {
+		t.Errorf("missing usable summary:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if _, _, err := runString(t, "-target", "nginx", "-pipeline", "seh"); err == nil {
+		t.Error("browser pipeline on a server target should fail")
+	}
+	if _, _, err := runString(t, "-target", "nginx", "-format", "xml"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+// TestCacheDirSmoke covers the -cache-dir lifecycles: a fresh directory
+// populates, a reused directory serves hits, and an unusable path warns
+// on stderr while the analysis still succeeds — output identical in all
+// three cases.
+func TestCacheDirSmoke(t *testing.T) {
+	baseline, _, err := runString(t, "-target", "nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	fresh, stderr, err := runString(t, "-target", "nginx", "-cache-dir", dir)
+	if err != nil {
+		t.Fatalf("fresh cache dir: %v", err)
+	}
+	if fresh != baseline {
+		t.Error("fresh-cache output differs from uncached output")
+	}
+	if strings.Contains(stderr, "cache disabled") {
+		t.Errorf("fresh cache dir warned:\n%s", stderr)
+	}
+	var entries int
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".cce") {
+			entries++
+		}
+		return nil
+	})
+	if entries == 0 {
+		t.Error("fresh run published no cache entries")
+	}
+
+	reused, _, err := runString(t, "-target", "nginx", "-cache-dir", dir)
+	if err != nil {
+		t.Fatalf("reused cache dir: %v", err)
+	}
+	if reused != baseline {
+		t.Error("warm-cache output differs from uncached output")
+	}
+
+	occupied := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	degraded, stderr, err := runString(t, "-target", "nginx", "-cache-dir", filepath.Join(occupied, "cache"))
+	if err != nil {
+		t.Fatalf("unusable cache dir must degrade, got: %v", err)
+	}
+	if !strings.Contains(stderr, "cache disabled") {
+		t.Errorf("unusable cache dir did not warn:\n%s", stderr)
+	}
+	if degraded != baseline {
+		t.Error("degraded-cache output differs from uncached output")
+	}
+}
+
+// TestCacheDirBrowserPipelines runs the seh and api pipelines twice
+// against one cache dir, asserting byte-identical stdout.
+func TestCacheDirBrowserPipelines(t *testing.T) {
+	for _, pl := range []string{"seh", "api"} {
+		pl := pl
+		t.Run(pl, func(t *testing.T) {
+			dir := t.TempDir()
+			cold, _, err := runString(t, "-target", "ie", "-pipeline", pl, "-cache-dir", dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, _, err := runString(t, "-target", "ie", "-pipeline", pl, "-cache-dir", dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm != cold {
+				t.Error("warm run output differs from cold run output")
+			}
+		})
+	}
+}

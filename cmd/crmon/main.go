@@ -51,9 +51,21 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		seed     = fs.Int64("seed", 42, "analysis seed")
 		workers  = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		runs     = fs.Int("runs", 0, "stop after this many analysis runs (0 = loop until interrupted)")
+		cacheDir = fs.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var cache *crashresist.AnalysisCache
+	if *cacheDir != "" {
+		c, err := crashresist.OpenAnalysisCache(*cacheDir)
+		if err != nil {
+			// A broken cache dir costs recomputation, never the monitor.
+			fmt.Fprintf(os.Stderr, "crmon: cache disabled: %v\n", err)
+		} else {
+			cache = c
+		}
 	}
 
 	isBrowser := *target == "ie" || *target == "firefox"
@@ -69,7 +81,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 	}
 
-	analyze, err := buildAnalysis(*target, pl, *scale, *seed, *workers)
+	analyze, err := buildAnalysis(*target, pl, *scale, *seed, *workers, cache)
 	if err != nil {
 		return err
 	}
@@ -111,15 +123,21 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 
 // buildAnalysis resolves the target once and returns a closure running one
 // analysis with the registry attached as a sink.
-func buildAnalysis(target, pl, scale string, seed int64, workers int) (func(context.Context, *crashresist.MetricsRegistry) error, error) {
+func buildAnalysis(target, pl, scale string, seed int64, workers int, cache *crashresist.AnalysisCache) (func(context.Context, *crashresist.MetricsRegistry) error, error) {
+	opts := func(reg *crashresist.MetricsRegistry) []crashresist.Option {
+		o := []crashresist.Option{crashresist.WithWorkers(workers), crashresist.WithSink(reg)}
+		if cache != nil {
+			o = append(o, crashresist.WithCache(cache))
+		}
+		return o
+	}
 	if target != "ie" && target != "firefox" {
 		srv, err := crashresist.Server(target)
 		if err != nil {
 			return nil, err
 		}
 		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeServerContext(ctx, srv, seed,
-				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			_, err := crashresist.AnalyzeServerContext(ctx, srv, seed, opts(reg)...)
 			return err
 		}, nil
 	}
@@ -143,14 +161,12 @@ func buildAnalysis(target, pl, scale string, seed int64, workers int) (func(cont
 	switch pl {
 	case "api":
 		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeBrowserAPIsContext(ctx, br, seed,
-				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			_, err := crashresist.AnalyzeBrowserAPIsContext(ctx, br, seed, opts(reg)...)
 			return err
 		}, nil
 	case "seh":
 		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeBrowserSEHContext(ctx, br, seed,
-				crashresist.WithWorkers(workers), crashresist.WithSink(reg))
+			_, err := crashresist.AnalyzeBrowserSEHContext(ctx, br, seed, opts(reg)...)
 			return err
 		}, nil
 	default:

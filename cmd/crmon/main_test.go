@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -97,6 +98,136 @@ func TestServeAndAnalyze(t *testing.T) {
 	case err := <-done:
 		if err != nil && !errors.Is(err, context.Canceled) {
 			t.Errorf("run returned %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}
+
+// TestCacheCountersExposed runs two analyses against one cache dir and
+// checks the cache counter families surface on /metrics: the first run
+// misses and populates, the second hits, and both flow through the
+// per-run collector into the Prometheus exposition.
+func TestCacheCountersExposed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-target", "nginx", "-runs", "2",
+			"-cache-dir", t.TempDir()},
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = string(raw)
+		if strings.Contains(body, `crashresist_runs_total{pipeline="syscall",target="nginx"} 2`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed both runs:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for _, family := range []string{
+		"crashresist_cache_hits_total",
+		"crashresist_cache_misses_total",
+		"crashresist_cache_bytes_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s:\n%s", family, body)
+		}
+	}
+	if strings.Contains(body, "crashresist_cache_bad_entries_total") &&
+		!strings.Contains(body, `crashresist_cache_bad_entries_total{pipeline="syscall",target="nginx"} 0`) {
+		t.Errorf("/metrics reports corrupted cache entries on a healthy dir:\n%s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("run returned %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}
+
+// TestBadCacheDirDegrades proves an unusable -cache-dir is a warning, not
+// a failure: the monitor still completes its run uncached.
+func TestBadCacheDirDegrades(t *testing.T) {
+	file := t.TempDir() + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-target", "nginx", "-runs", "1",
+			"-cache-dir", file + "/cache"},
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(raw), `crashresist_runs_total{pipeline="syscall",target="nginx"} 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run with broken cache dir never completed:\n%s", raw)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("run with broken cache dir returned %v", err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run did not exit after cancellation")

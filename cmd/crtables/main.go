@@ -38,6 +38,7 @@ func main() {
 		showMetrics = flag.Bool("metrics", false, "print per-run stats to stderr")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
 		traceFile   = flag.String("trace", "", "write all runs' span trees to this file as Chrome trace-event JSON")
+		cacheDir    = flag.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	if *showMetrics {
 		cfg.metricsW = os.Stderr
 	}
+	cfg.cache = openCacheOrWarn(os.Stderr, *cacheDir)
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -85,6 +87,25 @@ type config struct {
 	// document; nil suppresses the export. Like metricsW it never touches
 	// the artifact writer.
 	traceW io.Writer
+	// cache, when non-nil, persists per-unit analysis results across
+	// invocations. A missing or broken cache only costs recomputation;
+	// it never changes the artifact bytes.
+	cache *crashresist.AnalysisCache
+}
+
+// openCacheOrWarn opens the persistent analysis cache at dir. An empty dir
+// means caching is off. Failure to open is a warning, not an error: the
+// command degrades to cold computation and still exits 0.
+func openCacheOrWarn(errW io.Writer, dir string) *crashresist.AnalysisCache {
+	if dir == "" {
+		return nil
+	}
+	c, err := crashresist.OpenAnalysisCache(dir)
+	if err != nil {
+		fmt.Fprintf(errW, "crtables: cache disabled: %v\n", err)
+		return nil
+	}
+	return c
 }
 
 // document is the -format=json artifact bundle. Only requested artifacts
@@ -142,6 +163,9 @@ func emit(w io.Writer, cfg config) error {
 
 	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
 	opts := []crashresist.Option{crashresist.WithWorkers(cfg.workers)}
+	if cfg.cache != nil {
+		opts = append(opts, crashresist.WithCache(cfg.cache))
+	}
 	if cfg.chaosSeed != 0 {
 		opts = append(opts,
 			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(cfg.chaosSeed)),

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"crashresist/internal/cas"
 	"crashresist/internal/defense"
 	"crashresist/internal/discover"
 	"crashresist/internal/faultinject"
@@ -181,6 +182,10 @@ const (
 	CtrRetries               = metrics.CtrRetries
 	CtrBackoffTicks          = metrics.CtrBackoffTicks
 	CtrDegraded              = metrics.CtrDegraded
+	CtrCacheHits             = metrics.CtrCacheHits
+	CtrCacheMisses           = metrics.CtrCacheMisses
+	CtrCacheBadEntries       = metrics.CtrCacheBadEntries
+	CtrCacheBytes            = metrics.CtrCacheBytes
 )
 
 // Stage event kinds.
@@ -288,6 +293,44 @@ type options struct {
 	plan         *FaultPlan
 	retries      int
 	stageTimeout time.Duration
+	cache        *AnalysisCache
+}
+
+// AnalysisCache is a persistent, content-addressed store for analysis
+// results (see internal/cas): per-DLL symex verdicts, fuzzing batteries,
+// controllability classifications, and syscall validation outcomes. Warm
+// runs replay cached results byte-identically; any miss, corruption, or
+// I/O error silently degrades to recompute. A nil *AnalysisCache is a
+// valid always-miss cache.
+type AnalysisCache = cas.Cache
+
+// CacheStats are an AnalysisCache's lifetime hit/miss/corruption counters.
+type CacheStats = cas.Stats
+
+// OpenAnalysisCache roots a persistent analysis cache at dir, creating the
+// directory if needed. The error reports an unusable (e.g. unwritable)
+// directory; callers may warn and proceed without a cache — analyses run
+// identically, just cold.
+func OpenAnalysisCache(dir string) (*AnalysisCache, error) { return cas.Open(dir) }
+
+// WithCache attaches a persistent analysis cache to the run. Cached
+// results are keyed by content hashes of their inputs (target bytes, seed,
+// corruption address), so a changed input re-analyzes exactly the changed
+// units. Caching never changes report bytes — only the cache_* counters in
+// the report's Stats. Runs with a fault plan bypass the cache entirely.
+func WithCache(c *AnalysisCache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// WithCacheDir is WithCache over OpenAnalysisCache(dir), degrading silently
+// to an uncached run when the directory is unusable. CLIs that want to warn
+// on a bad directory open explicitly and use WithCache.
+func WithCacheDir(dir string) Option {
+	return func(o *options) {
+		if c, err := cas.Open(dir); err == nil {
+			o.cache = c
+		}
+	}
 }
 
 // WithWorkers bounds an analysis's worker pool. Values <= 0 (and omitting
@@ -359,6 +402,7 @@ func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
 	return &discover.SyscallAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+		Cache: o.cache,
 	}
 }
 
@@ -399,6 +443,7 @@ func AnalyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int6
 	a := &discover.APIAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+		Cache: o.cache,
 	}
 	return a.AnalyzeContext(ctx, br)
 }
@@ -416,6 +461,7 @@ func AnalyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64
 	a := &discover.SEHAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+		Cache: o.cache,
 	}
 	return a.AnalyzeContext(ctx, br)
 }

@@ -1,0 +1,360 @@
+// Package cas is a disk-backed, content-addressed store for analysis
+// results. The discovery pipelines derive every verdict deterministically
+// from target bytes plus a seed, so a result keyed by a content hash of its
+// inputs can be replayed from disk on any later run: a warm run is
+// byte-identical to a cold run, only faster. A changed byte anywhere in the
+// hashed inputs changes the key and invalidates exactly that unit.
+//
+// The cache is strictly an accelerator, never an authority:
+//
+//   - A nil *Cache is a valid receiver for every method and behaves as an
+//     always-miss store, so pipelines thread an optional cache with no
+//     branching at call sites.
+//   - Every miss, checksum mismatch, torn or truncated entry, and I/O
+//     error degrades to recompute. No cache failure is ever surfaced to a
+//     pipeline as an analysis error.
+//   - Entries are validated on read: magic, format version, the stored key
+//     hash (catches files renamed across keys), and a payload checksum
+//     (catches bit rot and truncation). Anything that fails validation is
+//     counted as a bad entry and treated as a miss; the subsequent Put
+//     atomically replaces the damaged file.
+//
+// On disk an entry lives at dir/family/kk/<keyhex>.cce, where kk is the
+// first byte of the key hex — a 256-way fanout that keeps directories small
+// at corpus scale. Writers publish with create-temp + rename in the shard
+// directory, so concurrent writers and readers (including separate
+// processes sharing one cache dir) never observe torn entries: a reader
+// sees either the complete old bytes, the complete new bytes, or no file.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"crashresist/internal/faultinject"
+)
+
+// Key is the 32-byte content hash addressing one cache entry.
+type Key [32]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// bits folds the key into the 64-bit space fault-injection plans key on.
+func (k Key) bits() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Hasher accumulates the inputs that define a cache key. Every part is
+// written length-prefixed, so ("ab","c") and ("a","bc") hash differently;
+// the schema string seeds the hash so distinct key families (or format
+// revisions of one family) can never collide.
+type Hasher struct {
+	h   hash.Hash
+	buf [10]byte
+}
+
+// NewHasher starts a key over the given schema identifier (by convention
+// "family/vN" — bump N whenever the payload format or the semantics of the
+// cached computation change).
+func NewHasher(schema string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	return h.Bytes([]byte(schema))
+}
+
+// Bytes appends a length-prefixed byte part.
+func (h *Hasher) Bytes(b []byte) *Hasher {
+	n := binary.PutUvarint(h.buf[:], uint64(len(b)))
+	h.h.Write(h.buf[:n])
+	h.h.Write(b)
+	return h
+}
+
+// String appends a length-prefixed string part.
+func (h *Hasher) String(s string) *Hasher { return h.Bytes([]byte(s)) }
+
+// Uint64 appends a fixed-width integer part.
+func (h *Hasher) Uint64(v uint64) *Hasher {
+	binary.BigEndian.PutUint64(h.buf[:8], v)
+	h.h.Write(h.buf[:8])
+	return h
+}
+
+// Int64 appends a signed integer part.
+func (h *Hasher) Int64(v int64) *Hasher { return h.Uint64(uint64(v)) }
+
+// Int appends an int part.
+func (h *Hasher) Int(v int) *Hasher { return h.Int64(int64(v)) }
+
+// Bool appends a boolean part.
+func (h *Hasher) Bool(v bool) *Hasher {
+	if v {
+		return h.Uint64(1)
+	}
+	return h.Uint64(0)
+}
+
+// Key finalizes the accumulated parts into a Key.
+func (h *Hasher) Key() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// Entry wire format, all integers big-endian:
+//
+//	offset  size  field
+//	0       4     magic "CRC1"
+//	4       2     format version (1)
+//	6       32    key hash — must match the key the entry is read under
+//	38      32    sha256 of the payload
+//	70      8     payload length
+//	78      n     payload (JSON)
+const (
+	entryMagic   = "CRC1"
+	entryVersion = 1
+	headerSize   = 4 + 2 + 32 + 32 + 8
+)
+
+// entrySuffix names published entries; temp files use a distinct prefix so
+// a crashed writer's leftovers are never mistaken for entries.
+const entrySuffix = ".cce"
+
+// EncodeEntry frames a payload into the versioned on-disk entry format.
+func EncodeEntry(key Key, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[0:4], entryMagic)
+	binary.BigEndian.PutUint16(out[4:6], entryVersion)
+	copy(out[6:38], key[:])
+	sum := sha256.Sum256(payload)
+	copy(out[38:70], sum[:])
+	binary.BigEndian.PutUint64(out[70:78], uint64(len(payload)))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode errors. All of them mean "treat as a miss"; they are distinguished
+// only for tests and diagnostics.
+var (
+	ErrTruncated   = errors.New("cas: entry truncated")
+	ErrBadMagic    = errors.New("cas: bad entry magic")
+	ErrBadVersion  = errors.New("cas: unsupported entry version")
+	ErrKeyMismatch = errors.New("cas: entry key mismatch")
+	ErrBadChecksum = errors.New("cas: payload checksum mismatch")
+)
+
+// DecodeEntry validates an entry's framing and checksum and returns the
+// stored key and payload. It never panics on arbitrary input (see
+// FuzzCacheEntryDecode) and fails closed: any malformed byte yields an
+// error, which callers treat as a cache miss.
+func DecodeEntry(data []byte) (Key, []byte, error) {
+	var key Key
+	if len(data) < headerSize {
+		return key, nil, ErrTruncated
+	}
+	if string(data[0:4]) != entryMagic {
+		return key, nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != entryVersion {
+		return key, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	copy(key[:], data[6:38])
+	plen := binary.BigEndian.Uint64(data[70:78])
+	if plen != uint64(len(data)-headerSize) {
+		return key, nil, ErrTruncated
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[38:70]) {
+		return key, nil, ErrBadChecksum
+	}
+	return key, payload, nil
+}
+
+// Stats are a cache's lifetime counters.
+type Stats struct {
+	// Hits counts Gets served from a validated on-disk entry.
+	Hits uint64
+	// Misses counts Gets that degraded to recompute for any reason:
+	// absent entry, I/O error, failed validation, or an injected fault.
+	Misses uint64
+	// BadEntries counts present entries that failed validation (torn,
+	// truncated, corrupted, or written under a different key).
+	BadEntries uint64
+	// Bytes counts entry bytes transferred: read on hits plus written on
+	// successful puts.
+	Bytes uint64
+}
+
+// Cache is one content-addressed store rooted at a directory. It is safe
+// for concurrent use by any number of goroutines, and a directory may be
+// shared by multiple Cache instances (including in other processes). The
+// zero value of *Cache — nil — is a valid always-miss cache.
+type Cache struct {
+	dir  string
+	plan *faultinject.Plan
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	bad    atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// Open roots a cache at dir, creating it if needed, and verifies the
+// directory is writable (so callers can warn once and run uncached instead
+// of failing on every Put).
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".cas-probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("cas: dir not writable: %w", err)
+	}
+	name := probe.Name()
+	probe.Close()
+	os.Remove(name)
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// SetFaultPlan attaches a fault-injection plan exercising the cas.read and
+// cas.write sites: a read fault degrades the Get to a miss, a write fault
+// drops the Put. Configure before sharing the cache across goroutines.
+func (c *Cache) SetFaultPlan(p *faultinject.Plan) {
+	if c != nil {
+		c.plan = p
+	}
+}
+
+// Stats snapshots the lifetime counters. Nil-safe.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		BadEntries: c.bad.Load(),
+		Bytes:      c.bytes.Load(),
+	}
+}
+
+// GetResult describes one Get for callers mirroring cache traffic into
+// per-run metrics.
+type GetResult struct {
+	// Hit reports whether out was populated from a validated entry.
+	Hit bool
+	// Bad reports that an entry was present but failed validation.
+	Bad bool
+	// Bytes is the entry size read on a hit.
+	Bytes uint64
+}
+
+// PutResult describes one Put.
+type PutResult struct {
+	// Stored reports whether the entry was published.
+	Stored bool
+	// Bytes is the entry size written.
+	Bytes uint64
+}
+
+// EntryPath returns where the entry for (family, key) lives on disk. The
+// family must be a path-safe label (letters, digits, dashes).
+func (c *Cache) EntryPath(family string, key Key) string {
+	name := key.String()
+	return filepath.Join(c.dir, family, name[:2], name+entrySuffix)
+}
+
+// Get looks up (family, key) and, on a validated hit, unmarshals the JSON
+// payload into out. Every failure path — nil cache, injected fault, absent
+// file, I/O error, framing or checksum mismatch, unmarshalable payload —
+// returns Hit=false so the caller recomputes.
+func (c *Cache) Get(family string, key Key, out any) GetResult {
+	if c == nil {
+		return GetResult{}
+	}
+	if c.plan.Should(faultinject.SiteCASRead, key.bits()^faultinject.Key(family)) {
+		c.misses.Add(1)
+		return GetResult{}
+	}
+	data, err := os.ReadFile(c.EntryPath(family, key))
+	if err != nil {
+		c.misses.Add(1)
+		return GetResult{}
+	}
+	storedKey, payload, err := DecodeEntry(data)
+	if err == nil && storedKey != key {
+		err = ErrKeyMismatch
+	}
+	if err == nil {
+		err = json.Unmarshal(payload, out)
+	}
+	if err != nil {
+		c.bad.Add(1)
+		c.misses.Add(1)
+		return GetResult{Bad: true}
+	}
+	c.hits.Add(1)
+	c.bytes.Add(uint64(len(data)))
+	return GetResult{Hit: true, Bytes: uint64(len(data))}
+}
+
+// Put publishes v as the entry for (family, key), atomically replacing any
+// existing (possibly damaged) entry. Failures are silent by design: the
+// cache degrades to recompute-next-time rather than failing the analysis.
+func (c *Cache) Put(family string, key Key, v any) PutResult {
+	if c == nil {
+		return PutResult{}
+	}
+	if c.plan.Should(faultinject.SiteCASWrite, key.bits()^faultinject.Key(family)) {
+		return PutResult{}
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return PutResult{}
+	}
+	data := EncodeEntry(key, payload)
+	final := c.EntryPath(family, key)
+	shard := filepath.Dir(final)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return PutResult{}
+	}
+	// Publish via create-temp + rename: the entry appears in one atomic
+	// step, so concurrent readers never see a partial write and racing
+	// writers of the same key each publish a complete entry (last one
+	// wins; for content-addressed entries both are identical anyway).
+	tmp, err := os.CreateTemp(shard, ".tmp-*")
+	if err != nil {
+		return PutResult{}
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return PutResult{}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return PutResult{}
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return PutResult{}
+	}
+	c.bytes.Add(uint64(len(data)))
+	return PutResult{Stored: true, Bytes: uint64(len(data))}
+}

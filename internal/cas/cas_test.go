@@ -1,0 +1,410 @@
+package cas
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"crashresist/internal/faultinject"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func testKey(parts ...string) Key {
+	h := NewHasher("test/v1")
+	for _, p := range parts {
+		h.String(p)
+	}
+	return h.Key()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("roundtrip")
+	in := payload{Name: "mmap", Count: 7}
+
+	var miss payload
+	if res := c.Get("fam", key, &miss); res.Hit || res.Bad {
+		t.Fatalf("Get before Put = %+v, want miss", res)
+	}
+	pr := c.Put("fam", key, in)
+	if !pr.Stored || pr.Bytes == 0 {
+		t.Fatalf("Put = %+v, want stored with bytes", pr)
+	}
+	var out payload
+	res := c.Get("fam", key, &out)
+	if !res.Hit || res.Bad {
+		t.Fatalf("Get after Put = %+v, want hit", res)
+	}
+	if out != in {
+		t.Errorf("round trip got %+v, want %+v", out, in)
+	}
+	if res.Bytes != pr.Bytes {
+		t.Errorf("read %d bytes, wrote %d", res.Bytes, pr.Bytes)
+	}
+
+	st := c.Stats()
+	want := Stats{Hits: 1, Misses: 1, BadEntries: 0, Bytes: pr.Bytes * 2}
+	if st != want {
+		t.Errorf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	key := testKey("nil")
+	var out payload
+	if res := c.Get("fam", key, &out); res.Hit || res.Bad || res.Bytes != 0 {
+		t.Errorf("nil Get = %+v", res)
+	}
+	if res := c.Put("fam", key, payload{}); res.Stored || res.Bytes != 0 {
+		t.Errorf("nil Put = %+v", res)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+	if c.Dir() != "" {
+		t.Errorf("nil Dir = %q", c.Dir())
+	}
+	c.SetFaultPlan(faultinject.Default(1)) // must not panic
+}
+
+func TestEntryPathSharding(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("shard")
+	p := c.EntryPath("fam", key)
+	hexName := key.String()
+	wantRel := filepath.Join("fam", hexName[:2], hexName+".cce")
+	if !strings.HasSuffix(p, wantRel) {
+		t.Errorf("EntryPath = %q, want suffix %q", p, wantRel)
+	}
+	if !strings.HasPrefix(p, c.Dir()) {
+		t.Errorf("EntryPath %q not under Dir %q", p, c.Dir())
+	}
+	c.Put("fam", key, payload{Name: "x"})
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("entry not at EntryPath: %v", err)
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(filepath.Join(dir, "cache")); err == nil {
+		t.Error("Open under read-only parent should fail")
+	}
+}
+
+func TestOpenReusesExistingDir(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("reuse")
+	c1.Put("fam", key, payload{Name: "persisted", Count: 3})
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if res := c2.Get("fam", key, &out); !res.Hit {
+		t.Fatalf("second Open does not see first instance's entry: %+v", res)
+	}
+	if out.Name != "persisted" || out.Count != 3 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestHasherBoundariesAndOrder(t *testing.T) {
+	if testKey("ab", "c") == testKey("a", "bc") {
+		t.Error("Hasher collides across part boundaries")
+	}
+	if testKey("a", "b") == testKey("b", "a") {
+		t.Error("Hasher ignores part order")
+	}
+	if testKey("x") == testKey("x", "") {
+		t.Error("Hasher ignores empty trailing part")
+	}
+	if NewHasher("fam/v1").Key() == NewHasher("fam/v2").Key() {
+		t.Error("Hasher ignores schema")
+	}
+	if NewHasher("s").Uint64(1).Key() == NewHasher("s").Uint64(2).Key() {
+		t.Error("Uint64 not hashed")
+	}
+	if NewHasher("s").Bool(true).Key() == NewHasher("s").Bool(false).Key() {
+		t.Error("Bool not hashed")
+	}
+	if NewHasher("s").Int(-1).Key() == NewHasher("s").Int(1).Key() {
+		t.Error("Int sign lost")
+	}
+	sub := NewHasher("inner").Key()
+	if NewHasher("s").Bytes(sub[:]).Key() == NewHasher("s").Key() {
+		t.Error("nested key part not hashed")
+	}
+}
+
+func TestDecodeEntryErrors(t *testing.T) {
+	key := testKey("decode")
+	good := EncodeEntry(key, []byte(`{"ok":true}`))
+
+	gotKey, payload, err := DecodeEntry(good)
+	if err != nil || gotKey != key || string(payload) != `{"ok":true}` {
+		t.Fatalf("DecodeEntry(good) = %x, %q, %v", gotKey, payload, err)
+	}
+
+	for name, tc := range map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"empty":          {func(b []byte) []byte { return nil }, ErrTruncated},
+		"short header":   {func(b []byte) []byte { return b[:headerSize-1] }, ErrTruncated},
+		"cut payload":    {func(b []byte) []byte { return b[:len(b)-1] }, ErrTruncated},
+		"extra tail":     {func(b []byte) []byte { return append(b, 0) }, ErrTruncated},
+		"bad magic":      {func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		"bad version":    {func(b []byte) []byte { b[5] = 99; return b }, ErrBadVersion},
+		"flipped sum":    {func(b []byte) []byte { b[38] ^= 1; return b }, ErrBadChecksum},
+		"flipped body":   {func(b []byte) []byte { b[headerSize] ^= 1; return b }, ErrBadChecksum},
+		"length too big": {func(b []byte) []byte { b[77] += 1; return b }, ErrTruncated},
+	} {
+		data := tc.mutate(append([]byte(nil), good...))
+		if _, _, err := DecodeEntry(data); err == nil {
+			t.Errorf("%s: decoded successfully, want %v", name, tc.want)
+		}
+	}
+}
+
+// TestEveryBitFlipIsDetected is the corruption property test: flipping any
+// single bit of a published entry must either be caught by framing
+// validation or change the stored key (caught by Get's key comparison).
+// Either way a warm Get must degrade to a miss, count the damage, and let
+// the subsequent Put repair the file — without ever returning wrong data.
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	key := testKey("bitflip")
+	good := EncodeEntry(key, []byte(`{"name":"probe","count":11}`))
+	for byteIdx := 0; byteIdx < len(good); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), good...)
+			data[byteIdx] ^= 1 << bit
+			storedKey, _, err := DecodeEntry(data)
+			if err == nil && storedKey == key {
+				t.Fatalf("flip of byte %d bit %d undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+// TestCorruptionDegradesAndRepairs covers the full Get path over damaged
+// files: every corruption style is counted as a bad entry plus a miss, the
+// caller's recompute-and-Put rewrites the file, and the next Get hits.
+func TestCorruptionDegradesAndRepairs(t *testing.T) {
+	in := payload{Name: "victim", Count: 5}
+	for name, corrupt := range map[string]func(string) error{
+		"bit flip": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x40
+			return os.WriteFile(path, data, 0o644)
+		},
+		"truncate": func(path string) error {
+			return os.Truncate(path, int64(headerSize/2))
+		},
+		"zero fill": func(path string) error {
+			st, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, make([]byte, st.Size()), 0o644)
+		},
+		"wrong key": func(path string) error {
+			// A valid entry written under a different key: framing is
+			// intact, so only the stored-key check can catch it.
+			return os.WriteFile(path, EncodeEntry(testKey("other"), []byte(`{}`)), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey("corrupt", name)
+			c.Put("fam", key, in)
+			if err := corrupt(c.EntryPath("fam", key)); err != nil {
+				t.Fatal(err)
+			}
+
+			var out payload
+			res := c.Get("fam", key, &out)
+			if res.Hit {
+				t.Fatalf("corrupted entry served as a hit: %+v", out)
+			}
+			if !res.Bad {
+				t.Errorf("corruption not counted as bad entry (res = %+v)", res)
+			}
+			if st := c.Stats(); st.BadEntries != 1 || st.Misses != 1 {
+				t.Errorf("Stats = %+v, want 1 bad, 1 miss", st)
+			}
+
+			// The recompute path rewrites the entry atomically...
+			if pr := c.Put("fam", key, in); !pr.Stored {
+				t.Fatalf("repair Put = %+v", pr)
+			}
+			// ...and the cache is healthy again.
+			out = payload{}
+			if res := c.Get("fam", key, &out); !res.Hit || out != in {
+				t.Errorf("after repair: res=%+v out=%+v", res, out)
+			}
+		})
+	}
+}
+
+func TestGetIgnoresForeignJSONShape(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("shape")
+	// Valid framing around a payload that cannot unmarshal into the target
+	// type: must degrade to a bad-entry miss, not a partial fill.
+	data := EncodeEntry(key, []byte(`[1,2,3]`))
+	path := c.EntryPath("fam", key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if res := c.Get("fam", key, &out); res.Hit || !res.Bad {
+		t.Errorf("mis-shaped payload: res = %+v", res)
+	}
+}
+
+func TestFaultPlanDegradesReadsAndWrites(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("faulty")
+	c.Put("fam", key, payload{Name: "ok"})
+
+	always := faultinject.New(3).
+		Enable(faultinject.SiteCASRead, faultinject.SiteConfig{Rate: 1, Mode: faultinject.ModePermanent}).
+		Enable(faultinject.SiteCASWrite, faultinject.SiteConfig{Rate: 1, Mode: faultinject.ModePermanent})
+	c.SetFaultPlan(always)
+
+	var out payload
+	if res := c.Get("fam", key, &out); res.Hit || res.Bad {
+		t.Errorf("read fault should be a plain miss: %+v", res)
+	}
+	key2 := testKey("faulty2")
+	if res := c.Put("fam", key2, payload{}); res.Stored {
+		t.Error("write fault should drop the Put")
+	}
+
+	c.SetFaultPlan(nil)
+	if res := c.Get("fam", key, &out); !res.Hit {
+		t.Errorf("entry should survive injected read faults: %+v", res)
+	}
+	if _, err := os.Stat(c.EntryPath("fam", key2)); !os.IsNotExist(err) {
+		t.Error("dropped Put left a file behind")
+	}
+}
+
+// TestConcurrentWritersAndReaders is the -race stress test: two Cache
+// instances over one directory (two processes' worth of state) with many
+// goroutines hammering the same and disjoint keys. Every Get must be either
+// a clean hit with intact data or a clean miss — a torn read would surface
+// as a bad entry or wrong payload.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		iterations = 200
+		sharedKeys = 4
+	)
+	var wg sync.WaitGroup
+	errc := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			caches := [2]*Cache{a, b}
+			for i := 0; i < iterations; i++ {
+				c := caches[(g+i)%2]
+				// Alternate between keys contended by every goroutine and
+				// keys owned by this goroutine alone.
+				var name string
+				if i%2 == 0 {
+					name = "shared" + string(rune('0'+i%sharedKeys))
+				} else {
+					name = "own" + string(rune('0'+g))
+				}
+				key := testKey(name)
+				want := payload{Name: name, Count: len(name)}
+				c.Put("stress", key, want)
+				var got payload
+				res := c.Get("stress", key, &got)
+				if res.Bad {
+					errc <- "bad entry under concurrent publish: " + name
+					return
+				}
+				if res.Hit && got != want {
+					errc <- "torn or foreign payload for " + name
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Error(msg)
+	}
+	if st := a.Stats(); st.BadEntries != 0 {
+		t.Errorf("cache a saw %d bad entries", st.BadEntries)
+	}
+	if st := b.Stats(); st.BadEntries != 0 {
+		t.Errorf("cache b saw %d bad entries", st.BadEntries)
+	}
+	// No temp-file litter: a crashed rename path would leave .tmp-* files.
+	var leftovers []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			leftovers = append(leftovers, path)
+		}
+		return nil
+	})
+	if len(leftovers) > 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}

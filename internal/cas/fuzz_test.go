@@ -1,0 +1,33 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCacheEntryDecode drives DecodeEntry with arbitrary bytes. The decoder
+// guards every Get, so it must never panic, and whenever it does accept an
+// input the accepted (key, payload) must re-encode to exactly the input —
+// i.e. the only decodable bytes are genuine encoder output.
+func FuzzCacheEntryDecode(f *testing.F) {
+	key := NewHasher("fuzz/v1").String("seed").Key()
+	f.Add([]byte{})
+	f.Add([]byte(entryMagic))
+	f.Add(EncodeEntry(key, nil))
+	f.Add(EncodeEntry(key, []byte(`{"name":"mmap","count":7}`)))
+	long := EncodeEntry(key, bytes.Repeat([]byte{0xa5}, 300))
+	f.Add(long)
+	f.Add(long[:headerSize])
+	f.Add(append(append([]byte(nil), long...), 1, 2, 3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotKey, payload, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: DecodeEntry∘EncodeEntry = id.
+		if !bytes.Equal(EncodeEntry(gotKey, payload), data) {
+			t.Fatalf("accepted entry does not re-encode to itself (len %d)", len(data))
+		}
+	})
+}

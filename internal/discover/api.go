@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"crashresist/internal/cas"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/fuzz"
 	"crashresist/internal/isa"
@@ -154,6 +155,11 @@ type APIAnalyzer struct {
 	Retries int
 	// StageTimeout bounds each fanned-out stage; zero means no limit.
 	StageTimeout time.Duration
+	// Cache, when non-nil, persists fuzzing batteries and classification
+	// verdicts across runs, keyed by content (see internal/cas). Ignored
+	// while a FaultPlan is attached: chaos runs must neither read nor
+	// write entries shared with clean runs.
+	Cache *cas.Cache
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
@@ -176,6 +182,14 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	}
 	col := newRunCollector("api", br.Name, a.Workers, a.Progress, a.Sinks)
 	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
+	rc := runCache{col: col}
+	if a.FaultPlan == nil {
+		rc.c = a.Cache
+	}
+	var apiParams []byte
+	if rc.c != nil {
+		apiParams = marshalAPIParams(br.Params.API)
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -206,9 +220,26 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	fctx, cancel := stageCtx(ctx, a.StageTimeout)
 	err = runIndexed(fctx, a.Workers, len(ptrAPIs), span, func(i int) error {
 		return res.run(fctx, "fuzz", ptrAPIs[i].Name, i, func(int) error {
+			var key cas.Key
+			haveKey := false
+			if rc.c != nil && apiParams != nil {
+				key = fuzzDescKey(apiParams, a.Seed, ptrAPIs[i])
+				haveKey = true
+				var ent apiFuzzEntry
+				if rc.get(casFamilyFuzz, key, &ent) {
+					col.Add(metrics.CtrProbes, uint64(len(ent.Probes)))
+					harvestVMStats(col, ent.Stats)
+					span.Observe(ent.Stats.Instructions)
+					results[i] = ent
+					return nil
+				}
+			}
 			fres, err := fz.FuzzOne(ptrAPIs[i])
 			if err != nil {
 				return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
+			}
+			if haveKey {
+				rc.put(casFamilyFuzz, key, fres)
 			}
 			col.Add(metrics.CtrProbes, uint64(len(fres.Probes)))
 			harvestVMStats(col, fres.Stats)
@@ -293,9 +324,35 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	err = runIndexed(cctx, a.Workers, len(report.JSContextAPIs), span, func(i int) error {
 		api := report.JSContextAPIs[i]
 		return res.run(cctx, "classify", api, i, func(int) error {
-			cls, err := a.classify(br, api, obs.args[api], invalid, col, span)
+			var key cas.Key
+			haveKey := false
+			if rc.c != nil {
+				if digest, derr := br.ContentDigest(); derr == nil {
+					key = classifyKey(digest, a.Seed, invalid, api, obs.args[api])
+					haveKey = true
+					var ent classifyEntry
+					if rc.get(casFamilyClassify, key, &ent) {
+						span.Observe(ent.Cost.Clock)
+						if ent.Cost.HasEnv {
+							harvestVMStats(col, ent.Cost.Stats)
+						}
+						classifications[i] = ent.Cls
+						return nil
+					}
+				}
+			}
+			cls, cost, err := a.classify(br, api, obs.args[api], invalid)
 			if err != nil {
 				return fmt.Errorf("classify %s: %w", api, err)
+			}
+			// The replay's virtual clock is the job's deterministic
+			// cost; statically-excluded APIs record zero.
+			span.Observe(cost.Clock)
+			if cost.HasEnv {
+				harvestVMStats(col, cost.Stats)
+			}
+			if haveKey {
+				rc.put(casFamilyClassify, key, classifyEntry{Cls: cls, Cost: cost})
 			}
 			classifications[i] = cls
 			return nil
@@ -445,20 +502,20 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector,
 }
 
 // classify decides an API's exclusion reason from its observed argument and
-// (when a corruptible pointer exists) a corrupted replay.
-func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64, col *metrics.Collector, span *metrics.Stage) (APIClassification, error) {
+// (when a corruptible pointer exists) a corrupted replay. The returned cost
+// carries the replay's deterministic counters; the caller observes them, so
+// a cache hit can replay the identical observations.
+func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservation, invalid uint64) (APIClassification, classifyCost, error) {
 	cls := APIClassification{API: api}
 	switch {
 	case obs.onStack:
 		cls.Reason = ReasonStackTransient
 		cls.Detail = fmt.Sprintf("pointer %#x lives on a thread stack", obs.value)
-		span.Observe(0)
-		return cls, nil
+		return cls, classifyCost{}, nil
 	case !obs.provOK:
 		cls.Reason = ReasonVolatile
 		cls.Detail = fmt.Sprintf("pointer %#x has no stored reference", obs.value)
-		span.Observe(0)
-		return cls, nil
+		return cls, classifyCost{}, nil
 	}
 	cls.Provenance = obs.prov
 
@@ -466,15 +523,12 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 	// layout), corrupt the stored pointer, re-browse.
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
-		return cls, err
+		return cls, classifyCost{}, err
 	}
 	env.Proc.FaultPlan = a.FaultPlan
-	defer func() {
-		// The replay's virtual clock is the job's deterministic cost;
-		// statically-excluded APIs above record zero.
-		span.Observe(env.Proc.Clock)
-		harvestVMStats(col, env.Proc.Stats)
-	}()
+	cost := func() classifyCost {
+		return classifyCost{Clock: env.Proc.Clock, Stats: env.Proc.Stats, HasEnv: true}
+	}
 	te := taint.New()
 	cor := &corruptingFlow{inner: te, as: env.Proc.AS, target: obs.prov, value: invalid}
 	env.Proc.Flow = cor
@@ -482,7 +536,7 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 	if err := env.Start(); err != nil {
 		cls.Reason = ReasonDerefOutside
 		cls.Detail = fmt.Sprintf("corrupted startup crash: %v", env.Proc.Crash)
-		return cls, nil
+		return cls, cost(), nil
 	}
 	browseErr := env.Browse()
 	switch {
@@ -496,5 +550,5 @@ func (a *APIAnalyzer) classify(br *targets.Browser, api string, obs argObservati
 		cls.Reason = ReasonControllable
 		cls.Detail = "corrupted call returned gracefully; probe primitive usable"
 	}
-	return cls, nil
+	return cls, cost(), nil
 }

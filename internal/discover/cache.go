@@ -1,0 +1,225 @@
+package discover
+
+// Persistent-cache wiring for the three pipelines. Each cacheable unit is
+// keyed by a content hash of everything its result depends on — target
+// bytes, seed, corruption address, candidate identity — so a changed byte
+// anywhere in the inputs invalidates exactly that unit and nothing else.
+// Entries store the result *and* its deterministic costs (virtual clock,
+// VM/kernel counters, symbolic steps), so a warm run replays the same
+// span.Observe and counter harvests a cold run performs: reports stay
+// byte-identical and latency histograms stay consistent whether a unit was
+// computed or served from disk.
+//
+// Three key families:
+//
+//	seh-symex         marshaled DLL image bytes → filter verdicts +
+//	                  Table III tallies. Persisted only when every filter
+//	                  analysis in the module was pure (a function of body
+//	                  bytes alone, see sym.Executor.LastAnalysisPure), so
+//	                  entries are position- and seed-independent.
+//	api-fuzz          API corpus params + seed + descriptor → the fuzzing
+//	                  battery's FuncResult.
+//	api-classify      browser content digest + seed + corruption address +
+//	                  API + observed argument → controllability verdict.
+//	syscall-validate  server image bytes + seed + corruption address +
+//	                  candidate → validation Finding.
+//
+// Chaos runs (a pipeline-level fault plan) bypass the persistent cache in
+// both directions: injected analysis faults change computed results, which
+// must neither be served from nor leak into the cache shared with clean
+// runs. The cache's own cas.read/cas.write fault sites remain exercisable
+// by attaching a plan to the cache itself.
+
+import (
+	"encoding/json"
+
+	"crashresist/internal/bin"
+	"crashresist/internal/cas"
+	"crashresist/internal/fuzz"
+	"crashresist/internal/kernel"
+	"crashresist/internal/metrics"
+	"crashresist/internal/sym"
+	"crashresist/internal/vm"
+	"crashresist/internal/winapi"
+)
+
+// Cache key families (on-disk directory names).
+const (
+	casFamilySEH      = "seh-symex"
+	casFamilyFuzz     = "api-fuzz"
+	casFamilyClassify = "api-classify"
+	casFamilyValidate = "syscall-validate"
+)
+
+// runCache binds an optional persistent cache to one run's collector,
+// mirroring every lookup into the run's cache_* counters. The zero value
+// (nil cache) is a valid always-miss cache that counts nothing.
+type runCache struct {
+	c   *cas.Cache
+	col *metrics.Collector
+}
+
+// get is Cache.Get plus per-run counter accounting.
+func (r runCache) get(family string, key cas.Key, out any) bool {
+	if r.c == nil {
+		return false
+	}
+	res := r.c.Get(family, key, out)
+	if res.Hit {
+		r.col.Add(metrics.CtrCacheHits, 1)
+		r.col.Add(metrics.CtrCacheBytes, res.Bytes)
+	} else {
+		r.col.Add(metrics.CtrCacheMisses, 1)
+	}
+	if res.Bad {
+		r.col.Add(metrics.CtrCacheBadEntries, 1)
+	}
+	return res.Hit
+}
+
+// put is Cache.Put plus per-run counter accounting.
+func (r runCache) put(family string, key cas.Key, v any) {
+	if r.c == nil {
+		return
+	}
+	if res := r.c.Put(family, key, v); res.Stored {
+		r.col.Add(metrics.CtrCacheBytes, res.Bytes)
+	}
+}
+
+// sehSymexEntry is the persisted form of one module's filter classification.
+type sehSymexEntry struct {
+	Verdicts       map[uint32]sym.Verdict `json:"verdicts,omitempty"`
+	AVFilters      int                    `json:"av_filters,omitempty"`
+	UnknownFilters int                    `json:"unknown_filters,omitempty"`
+	Steps          uint64                 `json:"steps,omitempty"`
+}
+
+// result rehydrates the in-memory stage result. A replayed module counts as
+// pure by construction — only all-pure modules are persisted.
+func (e sehSymexEntry) result() sehSymexResult {
+	v := e.Verdicts
+	if v == nil {
+		v = make(map[uint32]sym.Verdict)
+	}
+	return sehSymexResult{
+		verdicts:       v,
+		avFilters:      e.AVFilters,
+		unknownFilters: e.UnknownFilters,
+		steps:          e.Steps,
+		pure:           true,
+	}
+}
+
+// sehEntryOf is the inverse of result.
+func sehEntryOf(sx sehSymexResult) sehSymexEntry {
+	return sehSymexEntry{
+		Verdicts:       sx.verdicts,
+		AVFilters:      sx.avFilters,
+		UnknownFilters: sx.unknownFilters,
+		Steps:          sx.steps,
+	}
+}
+
+// sehModuleKey keys a module's symex results by its full marshaled image —
+// code, data, symbols, scope tables — so any changed byte re-analyzes
+// exactly that DLL.
+func sehModuleKey(img *bin.Image) (cas.Key, bool) {
+	data, err := bin.Marshal(img)
+	if err != nil {
+		return cas.Key{}, false
+	}
+	return cas.NewHasher("seh-symex/v1").Bytes(data).Key(), true
+}
+
+// fuzzDescKey keys one descriptor's fuzzing battery. The corpus parameters
+// pin the registry the harness resolves against; the descriptor fields pin
+// the function's full calling contract.
+func fuzzDescKey(apiParams []byte, seed int64, d *winapi.Descriptor) cas.Key {
+	h := cas.NewHasher("api-fuzz/v1").
+		Bytes(apiParams).
+		Int64(seed).
+		String(d.Name).
+		Uint64(uint64(d.ID)).
+		Int(d.NArgs).
+		Int(int(d.Cat)).
+		Bool(d.Writes).
+		Int(len(d.PtrArgs))
+	for _, ai := range d.PtrArgs {
+		h.Int(ai)
+	}
+	return h.Key()
+}
+
+// classifyCost carries a classification's deterministic cost for replay.
+type classifyCost struct {
+	Clock  uint64   `json:"clock,omitempty"`
+	Stats  vm.Stats `json:"stats,omitempty"`
+	HasEnv bool     `json:"has_env,omitempty"`
+}
+
+// classifyEntry is the persisted form of one API's controllability verdict.
+type classifyEntry struct {
+	Cls  APIClassification `json:"cls"`
+	Cost classifyCost      `json:"cost"`
+}
+
+// classifyKey keys one API's corrupted-replay verdict. The replay loads the
+// whole browser, so the key covers its full content digest: any changed
+// byte in any module invalidates the verdict.
+func classifyKey(digest []byte, seed int64, invalid uint64, api string, obs argObservation) cas.Key {
+	return cas.NewHasher("api-classify/v1").
+		Bytes(digest).
+		Int64(seed).
+		Uint64(invalid).
+		String(api).
+		Uint64(obs.value).
+		Bool(obs.provOK).
+		Uint64(obs.prov).
+		Bool(obs.onStack).
+		Key()
+}
+
+// validateCost carries a validation replay's deterministic cost.
+type validateCost struct {
+	Clock  uint64        `json:"clock,omitempty"`
+	Stats  vm.Stats      `json:"stats,omitempty"`
+	Kernel kernel.Counts `json:"kernel,omitempty"`
+}
+
+// validateEntry is the persisted form of one candidate's validation.
+type validateEntry struct {
+	Finding Finding      `json:"finding"`
+	Cost    validateCost `json:"cost"`
+}
+
+// validateKey keys one candidate's corrupted-suite replay by the server's
+// marshaled image, the run seed, the corruption value and the candidate's
+// identity (syscall, argument, provenance address, taint, count).
+func validateKey(srvImage []byte, name string, seed int64, invalid uint64, cand Candidate) cas.Key {
+	return cas.NewHasher("syscall-validate/v1").
+		String(name).
+		Bytes(srvImage).
+		Int64(seed).
+		Uint64(invalid).
+		String(cand.Syscall).
+		Uint64(cand.Num).
+		Int(cand.ArgIndex).
+		Uint64(cand.Provenance).
+		Uint64(cand.TaintMask).
+		Int(cand.Count).
+		Key()
+}
+
+// marshalAPIParams canonicalizes the API corpus parameters for hashing.
+func marshalAPIParams(p winapi.CorpusParams) []byte {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// apiFuzzEntry aliases the fuzzing result; all fields are exported and
+// round-trip through JSON unchanged.
+type apiFuzzEntry = fuzz.FuncResult

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crashresist/internal/bin"
+	"crashresist/internal/cas"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
 	"crashresist/internal/seh"
@@ -107,6 +108,11 @@ type SEHAnalyzer struct {
 	Retries int
 	// StageTimeout bounds the symex fan-out; zero means no limit.
 	StageTimeout time.Duration
+	// Cache, when non-nil, persists per-DLL symex results across runs,
+	// keyed by image content (see internal/cas). Ignored while a
+	// FaultPlan is attached: chaos runs must neither read nor write
+	// entries shared with clean runs.
+	Cache *cas.Cache
 
 	// CacheStats holds the symex cache counters of the last Analyze call.
 	CacheStats sym.CacheStats
@@ -123,6 +129,9 @@ type sehSymexResult struct {
 	// Reports including their Steps, so the sum is identical no matter
 	// which worker paid for the cache miss.
 	steps uint64
+	// pure reports that every filter analysis in the module was pure —
+	// the license for persisting the result beyond the process.
+	pure bool
 }
 
 // Analyze extracts every module's scope table, symbolically executes each
@@ -141,6 +150,10 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*SEHReport, error) {
 	col := newRunCollector("seh", br.Name, a.Workers, a.Progress, a.Sinks)
 	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
+	rc := runCache{col: col}
+	if a.FaultPlan == nil {
+		rc.c = a.Cache
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -254,9 +267,25 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 				if !ok {
 					return fmt.Errorf("module %s missing from worker environment", libs[i])
 				}
+				var key cas.Key
+				haveKey := false
+				if rc.c != nil {
+					key, haveKey = sehModuleKey(mod.Image)
+					var ent sehSymexEntry
+					if haveKey && rc.get(casFamilySEH, key, &ent) {
+						sx := ent.result()
+						span.Observe(sx.steps)
+						symex[i] = sx
+						symexOK[i] = true
+						return nil
+					}
+				}
 				sx, err := classifyModuleFilters(exec, mod, invs[i])
 				if err != nil {
 					return err
+				}
+				if haveKey && sx.pure {
+					rc.put(casFamilySEH, key, sehEntryOf(sx))
 				}
 				span.Observe(sx.steps)
 				symex[i] = sx
@@ -362,11 +391,14 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 // the executor an analysis may fail with an injected error, aborting the
 // module so the whole unit can retry or degrade atomically.
 func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleInventory) (sehSymexResult, error) {
-	res := sehSymexResult{verdicts: make(map[uint32]sym.Verdict, len(inv.Filters))}
+	res := sehSymexResult{verdicts: make(map[uint32]sym.Verdict, len(inv.Filters)), pure: true}
 	for _, f := range inv.Filters {
 		rep, err := exec.TryAnalyzeFilterIn(mod, f)
 		if err != nil {
 			return sehSymexResult{}, err
+		}
+		if !exec.LastAnalysisPure() {
+			res.pure = false
 		}
 		res.steps += uint64(rep.Steps)
 		res.verdicts[f] = rep.Verdict

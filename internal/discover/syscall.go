@@ -23,6 +23,8 @@ import (
 	"sort"
 	"time"
 
+	"crashresist/internal/bin"
+	"crashresist/internal/cas"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 	"crashresist/internal/kernel"
@@ -224,6 +226,11 @@ type SyscallAnalyzer struct {
 	// StageTimeout bounds each fanned-out stage; zero means no limit. A
 	// timeout cancels the stage and surfaces as a context error.
 	StageTimeout time.Duration
+	// Cache, when non-nil, persists validation outcomes across runs,
+	// keyed by server content and candidate identity (see internal/cas).
+	// Ignored while a FaultPlan is attached: chaos runs must neither
+	// read nor write entries shared with clean runs.
+	Cache *cas.Cache
 }
 
 // AnalyzeAll runs the pipeline for every server, fanning the servers out
@@ -268,6 +275,14 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 	}
 	col := newRunCollector("syscall", srv.Name, a.Workers, a.Progress, a.Sinks)
 	res := newResilience(srv.Name, a.FaultPlan, a.Retries, col)
+	rc := runCache{col: col}
+	var srvImage []byte
+	if a.FaultPlan == nil && a.Cache != nil {
+		if data, merr := bin.Marshal(srv.Image); merr == nil {
+			rc.c = a.Cache
+			srvImage = data
+		}
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -322,9 +337,30 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		cand := candidates[i]
 		jobKey := fmt.Sprintf("%s/%d", cand.Syscall, cand.ArgIndex)
 		return res.run(vctx, "validate", jobKey, i, func(int) error {
-			finding, err := a.validate(srv, cand, invalid, col, span)
+			var key cas.Key
+			haveKey := false
+			if rc.c != nil {
+				key = validateKey(srvImage, srv.Name, a.Seed, invalid, cand)
+				haveKey = true
+				var ent validateEntry
+				if rc.get(casFamilyValidate, key, &ent) {
+					span.Observe(ent.Cost.Clock)
+					harvestVMStats(col, ent.Cost.Stats)
+					harvestKernelCounts(col, ent.Cost.Kernel)
+					findings[i] = ent.Finding
+					return nil
+				}
+			}
+			finding, cost, err := a.validate(srv, cand, invalid)
 			if err != nil {
 				return fmt.Errorf("validate %s/%s: %w", srv.Name, cand.Syscall, err)
+			}
+			// The replay's virtual clock is the job's deterministic cost.
+			span.Observe(cost.Clock)
+			harvestVMStats(col, cost.Stats)
+			harvestKernelCounts(col, cost.Kernel)
+			if haveKey {
+				rc.put(casFamilyValidate, key, validateEntry{Finding: finding, Cost: cost})
 			}
 			findings[i] = finding
 			return nil
@@ -460,20 +496,19 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 }
 
 // validate replays the suite with the candidate's pointer storage corrupted
-// and classifies the outcome.
-func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64, col *metrics.Collector, span *metrics.Stage) (Finding, error) {
+// and classifies the outcome. The returned cost carries the replay's
+// deterministic counters; the caller observes them, so a cache hit can
+// replay the identical observations.
+func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid uint64) (Finding, validateCost, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
-		return Finding{}, err
+		return Finding{}, validateCost{}, err
 	}
 	env.Proc.FaultPlan = a.FaultPlan
 	env.Kern.SetFaultPlan(a.FaultPlan)
-	defer func() {
-		// The replay's virtual clock is the job's deterministic cost.
-		span.Observe(env.Proc.Clock)
-		harvestVMStats(col, env.Proc.Stats)
-		harvestKernelCounts(col, env.Kern.Counts())
-	}()
+	cost := func() validateCost {
+		return validateCost{Clock: env.Proc.Clock, Stats: env.Proc.Stats, Kernel: env.Kern.Counts()}
+	}
 
 	// Corrupt the stored pointer now (covers load-time relocations) and
 	// after every subsequent program store to it (covers runtime
@@ -503,7 +538,7 @@ func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid 
 	if err := env.Boot(); err != nil {
 		finding.Status = StatusInvalidCandidate
 		finding.Detail = fmt.Sprintf("server crashed during startup: %v", env.Proc.Crash)
-		return finding, nil
+		return finding, cost(), nil
 	}
 	_ = srv.Suite(env)
 
@@ -521,7 +556,7 @@ func (a *SyscallAnalyzer) validate(srv *targets.Server, cand Candidate, invalid 
 		finding.Status = StatusUsable
 		finding.Detail = "EFAULT returned, server alive and serving"
 	}
-	return finding, nil
+	return finding, cost(), nil
 }
 
 // observationSink adapts closures to kernel.Observer.

@@ -45,11 +45,18 @@ const (
 	SiteSymFilter Site = "sym.filter"
 	// SitePoolJob fails a discovery-pool job before it runs.
 	SitePoolJob Site = "pool.job"
+	// SiteCASRead degrades a persistent-cache read to a miss, forcing
+	// recompute. The cache absorbs the fault itself — it never becomes a
+	// pipeline error or a degraded record, only a changed hit counter.
+	SiteCASRead Site = "cas.read"
+	// SiteCASWrite drops a persistent-cache write, so the entry stays
+	// absent and a later run recomputes it.
+	SiteCASWrite Site = "cas.write"
 )
 
 // Sites lists every known site in stable order.
 func Sites() []Site {
-	return []Site{SiteVMLoad, SiteVMStore, SiteVMDispatch, SiteKernelSyscall, SiteSymFilter, SitePoolJob}
+	return []Site{SiteVMLoad, SiteVMStore, SiteVMDispatch, SiteKernelSyscall, SiteSymFilter, SitePoolJob, SiteCASRead, SiteCASWrite}
 }
 
 // Mode distinguishes faults that clear on retry from ones that never do.
@@ -97,7 +104,7 @@ type Plan struct {
 	seed  int64
 	sites map[Site]SiteConfig
 	// injected counts fired injections per site, indexed as Sites().
-	injected [6]atomic.Uint64
+	injected [8]atomic.Uint64
 }
 
 // New returns an empty plan (no sites enabled) for the seed.
@@ -137,6 +144,8 @@ func Default(seed int64) *Plan {
 	p.Enable(SiteKernelSyscall, SiteConfig{Rate: 5e-4, Mode: ModeTransient, Tries: 1})
 	p.Enable(SiteSymFilter, SiteConfig{Rate: 5e-3, Mode: ModeTransient, Tries: 4})
 	p.Enable(SitePoolJob, SiteConfig{Rate: 5e-2, Mode: ModeTransient, Tries: 4})
+	p.Enable(SiteCASRead, SiteConfig{Rate: 5e-2, Mode: ModeTransient})
+	p.Enable(SiteCASWrite, SiteConfig{Rate: 5e-2, Mode: ModeTransient})
 	return p
 }
 

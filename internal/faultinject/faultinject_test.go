@@ -180,8 +180,8 @@ func TestModeAndSiteStrings(t *testing.T) {
 	if ModeTransient.String() != "transient" || ModePermanent.String() != "permanent" || Mode(9).String() != "mode?" {
 		t.Error("mode strings wrong")
 	}
-	if len(Sites()) != 6 {
-		t.Error("Sites() should list 6 sites")
+	if len(Sites()) != 8 {
+		t.Error("Sites() should list 8 sites")
 	}
 }
 

@@ -70,6 +70,18 @@ const (
 	// CtrDegraded counts jobs that exhausted their retries and were
 	// recorded as degraded rather than aborting the run.
 	CtrDegraded
+	// CtrCacheHits counts analyses answered from the persistent
+	// content-addressed cache (internal/cas).
+	CtrCacheHits
+	// CtrCacheMisses counts persistent-cache lookups that degraded to
+	// recompute (absent, corrupt, I/O error, or injected fault).
+	CtrCacheMisses
+	// CtrCacheBadEntries counts persistent-cache entries that failed
+	// validation (checksum, framing, or key mismatch).
+	CtrCacheBadEntries
+	// CtrCacheBytes counts persistent-cache entry bytes transferred:
+	// read on hits plus written on stores.
+	CtrCacheBytes
 
 	numCounters
 )
@@ -111,6 +123,14 @@ func (c Counter) String() string {
 		return "backoff_ticks"
 	case CtrDegraded:
 		return "degraded"
+	case CtrCacheHits:
+		return "cache_hits"
+	case CtrCacheMisses:
+		return "cache_misses"
+	case CtrCacheBadEntries:
+		return "cache_bad_entries"
+	case CtrCacheBytes:
+		return "cache_bytes"
 	default:
 		return fmt.Sprintf("counter_%d", uint8(c))
 	}

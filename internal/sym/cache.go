@@ -115,6 +115,7 @@ func (e *Executor) TryAnalyzeFilterIn(mod *bin.Module, off uint32) (Report, erro
 // answering from the attached cache when the filter body has been analyzed
 // before. Without a cache it is equivalent to AnalyzeFilter(mod.VA(off)).
 func (e *Executor) AnalyzeFilterIn(mod *bin.Module, off uint32) Report {
+	e.lastPure = false
 	if e.Cache == nil {
 		return e.AnalyzeFilter(mod.VA(off))
 	}
@@ -126,6 +127,7 @@ func (e *Executor) AnalyzeFilterIn(mod *bin.Module, off uint32) Report {
 	key := cacheKey{disposition: vm.DispositionExecuteHandler, body: string(body)}
 	va := mod.VA(off)
 	if rep, ok := e.Cache.lookup(key); ok {
+		e.lastPure = true
 		out := *rep
 		out.FilterVA = va
 		return out
@@ -137,6 +139,7 @@ func (e *Executor) AnalyzeFilterIn(mod *bin.Module, off uint32) Report {
 	rep := e.analyze(va, vm.DispositionExecuteHandler)
 	pure := e.pure
 	e.tracking = false
+	e.lastPure = pure
 	if pure {
 		stored := rep
 		e.Cache.store(key, &stored)
@@ -145,6 +148,14 @@ func (e *Executor) AnalyzeFilterIn(mod *bin.Module, off uint32) Report {
 	}
 	return rep
 }
+
+// LastAnalysisPure reports whether the most recent AnalyzeFilterIn was pure:
+// its verdict depended on the filter's body bytes alone, not on module
+// placement, imports, or image data. Pure verdicts are position- and
+// seed-independent, which is what licenses persisting them beyond the
+// process (see internal/cas); an impure or symbol-less analysis poisons the
+// module for persistence.
+func (e *Executor) LastAnalysisPure() bool { return e.lastPure }
 
 // filterBody extracts the byte range of the function symbol starting at
 // off, or nil when no sized symbol starts exactly there.

@@ -156,6 +156,10 @@ type Executor struct {
 	trackLo  uint64
 	trackHi  uint64
 	pure     bool
+	// lastPure records whether the most recent AnalyzeFilterIn call was
+	// pure — a function of the filter body bytes alone (see
+	// LastAnalysisPure).
+	lastPure bool
 }
 
 // NewExecutor creates an executor bound to a process (for module lookup and

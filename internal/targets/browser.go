@@ -1,8 +1,11 @@
 package targets
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"crashresist/internal/asm"
 	"crashresist/internal/bin"
@@ -90,6 +93,34 @@ type Browser struct {
 
 	images []*bin.Image
 	exe    *bin.Image
+
+	digestOnce sync.Once
+	digest     []byte
+	digestErr  error
+}
+
+// ContentDigest returns a digest over every loaded image's marshaled bytes
+// (DLL corpus, support libraries, executable) in load order. It is the
+// content-hash input for whole-process cache keys: any changed byte in any
+// module changes the digest. Computed once and memoized.
+func (br *Browser) ContentDigest() ([]byte, error) {
+	br.digestOnce.Do(func() {
+		h := sha256.New()
+		h.Write([]byte(br.Name))
+		for _, img := range append(append([]*bin.Image{}, br.images...), br.exe) {
+			data, err := bin.Marshal(img)
+			if err != nil {
+				br.digestErr = fmt.Errorf("digest %s: %w", img.Name, err)
+				return
+			}
+			var n [8]byte
+			binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+			h.Write(n[:])
+			h.Write(data)
+		}
+		br.digest = h.Sum(nil)
+	})
+	return br.digest, br.digestErr
 }
 
 // BrowserEnv is one instantiated browser process.
@@ -120,10 +151,23 @@ func buildBrowser(name string, params BrowserParams) (*Browser, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 
+	// Merge the script-engine glue with any caller-provided extensions
+	// (the incremental-cache tests mutate individual DLLs this way), so
+	// a caller extension of jscript9.dll composes with the JS wrappers
+	// instead of replacing them.
 	corpus := params.Corpus
-	corpus.Extend = map[string]func(*asm.Builder){
-		"jscript9.dll": func(b *asm.Builder) { emitJSWrappers(b, apiReg, jsAPIs) },
+	ext := make(map[string]func(*asm.Builder), len(corpus.Extend)+1)
+	for name, fn := range corpus.Extend {
+		ext[name] = fn
 	}
+	userJS := ext["jscript9.dll"]
+	ext["jscript9.dll"] = func(b *asm.Builder) {
+		if userJS != nil {
+			userJS(b)
+		}
+		emitJSWrappers(b, apiReg, jsAPIs)
+	}
+	corpus.Extend = ext
 	images, plan, err := BuildSysDLLs(corpus)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)

@@ -12,6 +12,7 @@ pkg: crashresist
 cpu: some cpu model
 BenchmarkTableIII-8   	       1	 512345678 ns/op	  736512 trigger-events	      42 candidates
 BenchmarkTableI-8     	       2	 100000000 ns/op
+BenchmarkTableIIIWarmCache-8  	       3	  52345678 ns/op	     186.0 cache-hits
 PASS
 ok  	crashresist	1.234s
 `
@@ -24,8 +25,8 @@ func TestParseStream(t *testing.T) {
 	if doc.Goos != "linux" || doc.Goarch != "amd64" {
 		t.Errorf("platform = %s/%s", doc.Goos, doc.Goarch)
 	}
-	if len(doc.Results) != 2 {
-		t.Fatalf("results = %d, want 2", len(doc.Results))
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Results))
 	}
 	r := doc.Results[0]
 	if r.Name != "BenchmarkTableIII-8" || r.Package != "crashresist" || r.Iterations != 1 {
@@ -37,6 +38,9 @@ func TestParseStream(t *testing.T) {
 	}
 	if doc.Results[1].Metrics["ns/op"] != 100000000 {
 		t.Errorf("result 1 metrics = %v", doc.Results[1].Metrics)
+	}
+	if doc.Results[2].Metrics["cache-hits"] != 186 {
+		t.Errorf("result 2 metrics = %v", doc.Results[2].Metrics)
 	}
 	// PASS/ok lines land in the log, cpu/blank lines are dropped.
 	if len(doc.Log) != 2 || doc.Log[0] != "PASS" {
