@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"crashresist"
+	"crashresist/cmd/internal/cliflags"
 )
 
 func main() {
@@ -41,45 +42,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crdiscover", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		target      = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
-		pipeline    = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		scale       = fs.String("scale", "small", "browser corpus scale: paper or small")
-		seed        = fs.Int64("seed", 42, "analysis seed")
-		workers     = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
-		format      = fs.String("format", "text", "output format: text or json")
-		showMetrics = fs.Bool("metrics", false, "print run stats to stderr")
-		chaosSeed   = fs.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
-		traceFile   = fs.String("trace", "", "write the run's span tree to this file as Chrome trace-event JSON")
-		serveAddr   = fs.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
-		cacheDir    = fs.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
+		an  cliflags.Analysis
+		out cliflags.Output
 	)
+	var (
+		target    = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|all")
+		pipeline  = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
+		scale     = fs.String("scale", "small", "browser corpus scale: paper or small")
+		serveAddr = fs.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
+	)
+	an.RegisterSeed(fs)
+	an.RegisterPool(fs)
+	an.RegisterChaos(fs)
+	out.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
 
-	opts := []crashresist.Option{crashresist.WithWorkers(*workers)}
-	if *cacheDir != "" {
-		if c, err := crashresist.OpenAnalysisCache(*cacheDir); err != nil {
-			// A broken cache dir costs recomputation, never the run.
-			fmt.Fprintf(stderr, "crdiscover: cache disabled: %v\n", err)
-		} else {
-			opts = append(opts, crashresist.WithCache(c))
-		}
-	}
-	if *chaosSeed != 0 {
-		opts = append(opts,
-			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(*chaosSeed)),
-			crashresist.WithRetry(2))
-	}
+	opts := an.Options(stderr, "crdiscover")
 
 	// Trace export and live serving both ride a metrics registry sink. The
 	// listener binds before the analysis so scrapes work while it runs.
 	var reg *crashresist.MetricsRegistry
-	if *traceFile != "" || *serveAddr != "" {
+	if an.Trace != "" || *serveAddr != "" {
 		reg = crashresist.NewMetricsRegistry()
 		opts = append(opts, crashresist.WithSink(reg))
 	}
-	finish := func() error { return finishObservability(stderr, reg, *traceFile, *serveAddr != "") }
+	finish := func() error { return finishObservability(stderr, reg, an.Trace, *serveAddr != "") }
 	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
@@ -89,105 +81,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		go func() { _ = http.Serve(ln, reg.Handler()) }()
 	}
 
-	switch *format {
-	case "text", "json":
-	default:
-		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, *format)
-	}
-
-	isBrowser := *target == "ie" || *target == "firefox"
-	pl := *pipeline
-	if pl == "" {
-		if isBrowser {
-			pl = "seh"
-		} else {
-			pl = "syscall"
-		}
-	}
-
-	if !isBrowser {
-		if pl != "syscall" {
-			return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
-		}
-		if err := runServer(stdout, stderr, *target, *seed, opts, *format, *showMetrics); err != nil {
-			return err
-		}
-		return finish()
-	}
-
-	params := crashresist.SmallBrowserParams()
-	if *scale == "paper" {
-		params = crashresist.PaperBrowserParams()
-	}
-	var (
-		br  *crashresist.BrowserTarget
-		err error
-	)
-	if *target == "ie" {
-		br, err = crashresist.IE(params)
-	} else {
-		br, err = crashresist.Firefox(params)
-	}
+	res, err := crashresist.Run(context.Background(), crashresist.Request{
+		Pipeline: *pipeline,
+		Target:   *target,
+		Scale:    *scale,
+		Seed:     an.Seed,
+		Options:  opts,
+	})
 	if err != nil {
 		return err
 	}
-
-	switch pl {
-	case "api":
-		rep, err := crashresist.AnalyzeBrowserAPIs(br, *seed, opts...)
-		if err != nil {
-			return err
-		}
-		emitMetrics(stderr, rep.Stats, *showMetrics)
-		if *format == "json" {
-			if err := printJSON(stdout, rep); err != nil {
-				return err
-			}
-			return finish()
-		}
-		fmt.Fprintln(stdout, crashresist.FormatFunnel(rep))
-		printDegraded(stdout, rep.Degraded)
-		return finish()
-	case "seh":
-		rep, err := crashresist.AnalyzeBrowserSEH(br, *seed, opts...)
-		if err != nil {
-			return err
-		}
-		emitMetrics(stderr, rep.Stats, *showMetrics)
-		if *format == "json" {
-			if err := printJSON(stdout, rep); err != nil {
-				return err
-			}
-			return finish()
-		}
-		fmt.Fprintln(stdout, crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
-		fmt.Fprintln(stdout, crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
-		fmt.Fprintf(stdout, "on-path candidates (%d):\n", len(rep.Candidates))
-		for _, c := range rep.Candidates {
-			kind := "filter"
-			if c.CatchAll {
-				kind = "catch-all"
-			}
-			fmt.Fprintf(stdout, "  %-16s scope %-4d %-24s %-9s hits %d\n",
-				c.Module, c.Scope, c.FuncName, kind, c.Hits)
-			if len(rep.Candidates) > 40 && c.Hits > 0 {
-				// keep terminal output bounded at paper scale
-			}
-		}
-		if len(rep.VEHFindings) > 0 {
-			fmt.Fprintf(stdout, "\nvectored-handler registrations (static scan, §VII-A extension):\n")
-			for _, f := range rep.VEHFindings {
-				fmt.Fprintf(stdout, "  %s\n", f)
-			}
-		}
-		pw := crashresist.PriorWork(rep)
-		fmt.Fprintf(stdout, "\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
-			pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
-		printDegraded(stdout, rep.Degraded)
-		return finish()
-	default:
-		return fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
+	for _, st := range res.RunStats() {
+		out.EmitStats(stderr, st)
 	}
+
+	if out.JSON() {
+		if err := printJSON(stdout, res.Report()); err != nil {
+			return err
+		}
+		return finish()
+	}
+	switch {
+	case res.Syscall != nil:
+		printServerReport(stdout, res.Syscall)
+	case res.Servers != nil:
+		for i, rep := range res.Servers {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			printServerReport(stdout, rep)
+		}
+	case res.Funnel != nil:
+		fmt.Fprintln(stdout, crashresist.FormatFunnel(res.Funnel))
+		printDegraded(stdout, res.Funnel.Degraded)
+	case res.SEH != nil:
+		printSEHReport(stdout, res.SEH)
+	}
+	return finish()
 }
 
 // finishObservability runs after a successful analysis: it writes the
@@ -220,19 +150,8 @@ func finishObservability(stderr io.Writer, reg *crashresist.MetricsRegistry, tra
 	return nil
 }
 
-func runServer(stdout, stderr io.Writer, name string, seed int64, opts []crashresist.Option, format string, showMetrics bool) error {
-	srv, err := crashresist.Server(name)
-	if err != nil {
-		return err
-	}
-	rep, err := crashresist.AnalyzeServer(srv, seed, opts...)
-	if err != nil {
-		return err
-	}
-	emitMetrics(stderr, rep.Stats, showMetrics)
-	if format == "json" {
-		return printJSON(stdout, rep)
-	}
+// printServerReport renders one syscall-pipeline report as text.
+func printServerReport(stdout io.Writer, rep *crashresist.SyscallReport) {
 	fmt.Fprintf(stdout, "syscall pipeline report for %s\n\n", rep.Server)
 	fmt.Fprintf(stdout, "%-12s %-18s\n", "syscall", "status")
 	for _, sc := range crashresist.TableISyscalls() {
@@ -245,7 +164,31 @@ func runServer(stdout, stderr io.Writer, name string, seed int64, opts []crashre
 	}
 	fmt.Fprintf(stdout, "\nusable crash-resistant primitives: %v\n", rep.Usable())
 	printDegraded(stdout, rep.Degraded)
-	return nil
+}
+
+// printSEHReport renders the Tables II/III inventory as text.
+func printSEHReport(stdout io.Writer, rep *crashresist.SEHReport) {
+	fmt.Fprintln(stdout, crashresist.FormatTableII(rep, crashresist.NamedDLLs()))
+	fmt.Fprintln(stdout, crashresist.FormatTableIII(rep, crashresist.NamedDLLs()))
+	fmt.Fprintf(stdout, "on-path candidates (%d):\n", len(rep.Candidates))
+	for _, c := range rep.Candidates {
+		kind := "filter"
+		if c.CatchAll {
+			kind = "catch-all"
+		}
+		fmt.Fprintf(stdout, "  %-16s scope %-4d %-24s %-9s hits %d\n",
+			c.Module, c.Scope, c.FuncName, kind, c.Hits)
+	}
+	if len(rep.VEHFindings) > 0 {
+		fmt.Fprintf(stdout, "\nvectored-handler registrations (static scan, §VII-A extension):\n")
+		for _, f := range rep.VEHFindings {
+			fmt.Fprintf(stdout, "  %s\n", f)
+		}
+	}
+	pw := crashresist.PriorWork(rep)
+	fmt.Fprintf(stdout, "\nprior work: IE catch-all=%v, post-update-manual=%v, VEH-missed=%v, VEH-found-by-extension=%v\n",
+		pw.IECatchAllFound, pw.IEPostUpdateNeedsManual, pw.FirefoxVEHMissed, pw.FirefoxVEHFoundByExtension)
+	printDegraded(stdout, rep.Degraded)
 }
 
 // printDegraded lists jobs dropped by graceful degradation. Prints nothing
@@ -265,11 +208,4 @@ func printJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
-}
-
-// emitMetrics writes run stats to stderr when requested.
-func emitMetrics(w io.Writer, st *crashresist.RunStats, show bool) {
-	if show && st != nil {
-		fmt.Fprint(w, st.Format())
-	}
 }

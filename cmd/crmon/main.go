@@ -1,15 +1,22 @@
-// Command crmon is the long-running discovery monitor: it serves live
-// metrics endpoints and repeatedly runs a discovery pipeline, folding each
-// completed run into the exposition registry. It exists so the pipelines
-// can be watched like a serving stack — Prometheus scrapes /metrics, a
-// Chrome trace of the recent runs is one GET away, and pprof is wired in:
+// Command crmon is the long-running discovery monitor and service: it
+// serves live metrics endpoints and either repeatedly runs one discovery
+// pipeline (monitor mode) or accepts discovery jobs over a multi-tenant
+// HTTP/JSON API (-serve mode):
 //
 //	crmon -addr :9090 -target nginx              # loop the syscall pipeline
 //	crmon -addr :9090 -target ie -pipeline seh -runs 3
+//	crmon -addr :9090 -serve                     # discovery-as-a-service
 //	curl localhost:9090/metrics                  # Prometheus text format
 //	curl localhost:9090/trace.json               # Chrome trace-event JSON
 //	curl localhost:9090/debug/vars               # expvar
 //	curl localhost:9090/debug/pprof/             # runtime profiles
+//
+// In -serve mode the job API is live on the same address:
+//
+//	curl -X POST localhost:9090/v1/jobs -d '{"tenant":"t1","target":"nginx","seed":42}'
+//	curl localhost:9090/v1/jobs/j00000001        # status + result
+//	curl localhost:9090/v1/jobs/j00000001/events # SSE progress stream
+//	curl 'localhost:9090/v1/jobs?tenant=t1'      # tenant listing
 //
 // Endpoints are live from before the first analysis starts. With -runs 0
 // (the default) crmon keeps analyzing until interrupted.
@@ -27,6 +34,9 @@ import (
 	"syscall"
 
 	"crashresist"
+	"crashresist/cmd/internal/cliflags"
+	"crashresist/internal/metrics"
+	"crashresist/internal/service"
 )
 
 func main() {
@@ -43,29 +53,33 @@ func main() {
 // `-addr 127.0.0.1:0` usable.
 func run(ctx context.Context, args []string, ready func(addr string)) error {
 	fs := flag.NewFlagSet("crmon", flag.ContinueOnError)
+	var an cliflags.Analysis
 	var (
 		addr     = fs.String("addr", ":9090", "listen address for /metrics, /trace.json, /debug/vars, /debug/pprof")
+		serve    = fs.Bool("serve", false, "serve the multi-tenant job API (POST /v1/jobs) instead of looping one pipeline")
 		target   = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
 		pipeline = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
 		scale    = fs.String("scale", "small", "browser corpus scale: paper or small")
-		seed     = fs.Int64("seed", 42, "analysis seed")
-		workers  = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		runs     = fs.Int("runs", 0, "stop after this many analysis runs (0 = loop until interrupted)")
-		cacheDir = fs.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
+		budget   = fs.Int("budget", 0, "serve: worker-token budget shared by concurrent jobs (0 = max(4, GOMAXPROCS))")
+		maxQueue = fs.Int("max-queue", 0, "serve: queued-job bound before 429 backpressure (0 = 256)")
+		retain   = fs.Int("retain", 0, "serve: completed jobs retained for GET before eviction (0 = 1024)")
 	)
+	an.RegisterSeed(fs)
+	an.RegisterPool(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var cache *crashresist.AnalysisCache
-	if *cacheDir != "" {
-		c, err := crashresist.OpenAnalysisCache(*cacheDir)
-		if err != nil {
-			// A broken cache dir costs recomputation, never the monitor.
-			fmt.Fprintf(os.Stderr, "crmon: cache disabled: %v\n", err)
-		} else {
-			cache = c
-		}
+	cache := an.OpenCache(os.Stderr, "crmon")
+	reg := crashresist.NewMetricsRegistry()
+
+	if *serve {
+		return serveJobs(ctx, *addr, reg, cache, service.Config{
+			Budget:   *budget,
+			MaxQueue: *maxQueue,
+			Retain:   *retain,
+		}, ready)
 	}
 
 	isBrowser := *target == "ie" || *target == "firefox"
@@ -81,12 +95,21 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		return fmt.Errorf("%w: pipeline %q needs a browser target", crashresist.ErrBadParams, pl)
 	}
 
-	analyze, err := buildAnalysis(*target, pl, *scale, *seed, *workers, cache)
-	if err != nil {
+	req := crashresist.Request{
+		Pipeline: pl,
+		Target:   *target,
+		Scale:    *scale,
+		Seed:     an.Seed,
+		Workers:  an.Workers,
+	}
+	if err := req.Validate(); err != nil {
 		return err
 	}
+	if cache != nil {
+		req.Cache = cache
+	}
+	req.Sinks = append(req.Sinks, reg)
 
-	reg := crashresist.NewMetricsRegistry()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -104,7 +127,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := analyze(ctx, reg); err != nil {
+		if _, err := crashresist.Run(ctx, req); err != nil {
 			if errors.Is(err, context.Canceled) {
 				return err
 			}
@@ -121,55 +144,31 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	return ctx.Err()
 }
 
-// buildAnalysis resolves the target once and returns a closure running one
-// analysis with the registry attached as a sink.
-func buildAnalysis(target, pl, scale string, seed int64, workers int, cache *crashresist.AnalysisCache) (func(context.Context, *crashresist.MetricsRegistry) error, error) {
-	opts := func(reg *crashresist.MetricsRegistry) []crashresist.Option {
-		o := []crashresist.Option{crashresist.WithWorkers(workers), crashresist.WithSink(reg)}
-		if cache != nil {
-			o = append(o, crashresist.WithCache(cache))
-		}
-		return o
+// serveJobs runs the discovery-as-a-service mode: the job API plus the
+// observability endpoints on one listener, until the context is done.
+func serveJobs(ctx context.Context, addr string, reg *metrics.Registry, cache *crashresist.AnalysisCache, cfg service.Config, ready func(addr string)) error {
+	cfg.Cache = cache
+	cfg.Registry = reg
+	svc := service.New(cfg)
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
-	if target != "ie" && target != "firefox" {
-		srv, err := crashresist.Server(target)
-		if err != nil {
-			return nil, err
-		}
-		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeServerContext(ctx, srv, seed, opts(reg)...)
-			return err
-		}, nil
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "crmon: job API serving http://%s/v1/jobs (budget %d)\n", ln.Addr(), svc.Budget())
+	if ready != nil {
+		ready(ln.Addr().String())
 	}
 
-	params := crashresist.SmallBrowserParams()
-	if scale == "paper" {
-		params = crashresist.PaperBrowserParams()
-	}
-	var (
-		br  *crashresist.BrowserTarget
-		err error
-	)
-	if target == "ie" {
-		br, err = crashresist.IE(params)
-	} else {
-		br, err = crashresist.Firefox(params)
-	}
-	if err != nil {
-		return nil, err
-	}
-	switch pl {
-	case "api":
-		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeBrowserAPIsContext(ctx, br, seed, opts(reg)...)
-			return err
-		}, nil
-	case "seh":
-		return func(ctx context.Context, reg *crashresist.MetricsRegistry) error {
-			_, err := crashresist.AnalyzeBrowserSEHContext(ctx, br, seed, opts(reg)...)
-			return err
-		}, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown pipeline %q", crashresist.ErrBadParams, pl)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
 	}
 }

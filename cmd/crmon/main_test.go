@@ -256,3 +256,103 @@ func TestBadParams(t *testing.T) {
 		}
 	}
 }
+
+// TestServeJobAPI drives -serve end to end: submit a job over HTTP, poll
+// it to completion, check the result envelope and the job metric
+// families, then interrupt the server.
+func TestServeJobAPI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-serve", "-cache-dir", t.TempDir()},
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"schema":"v1","tenant":"smoke","target":"nginx","seed":42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		t.Fatalf("submit: status %d view %+v err %v", resp.StatusCode, view, err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != "done" {
+		if view.State == "failed" || view.State == "canceled" {
+			t.Fatalf("job ended %s: %s", view.State, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", view.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var result struct {
+		Schema   string `json:"schema"`
+		Pipeline string `json:"pipeline"`
+	}
+	if err := json.Unmarshal(view.Result, &result); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if result.Schema != "v1" || result.Pipeline != "syscall" {
+		t.Fatalf("result envelope: %+v", result)
+	}
+
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`crashresist_jobs_completed_total{tenant="smoke"} 1`,
+		`crashresist_runs_total{pipeline="syscall",target="nginx"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("run returned %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"crashresist"
+	"crashresist/cmd/internal/cliflags"
 	"crashresist/internal/mem"
 	"crashresist/internal/metrics"
 	"crashresist/internal/vm"
@@ -42,6 +43,7 @@ var errFlagParse = errors.New("flag parse error")
 
 // probeDoc is the -format=json result document.
 type probeDoc struct {
+	Schema string `json:"schema"`
 	Target string `json:"target"`
 	Oracle string `json:"oracle,omitempty"`
 	// Locate-style attacks (ie, firefox, nginx).
@@ -90,41 +92,42 @@ func run(args []string) error {
 func runTo(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("crprobe", flag.ContinueOnError)
 	var (
-		target      = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
-		size        = fs.Uint64("size", 64*4096, "hidden region size in bytes")
-		window      = fs.Uint64("window", 64, "search window in multiples of the region size")
-		requests    = fs.Int("requests", 50, "cherokee: requests per timing batch")
-		seed        = fs.Int64("seed", 42, "ASLR seed")
-		format      = fs.String("format", "text", "output format: text or json")
-		showMetrics = fs.Bool("metrics", false, "print run stats to stderr")
+		an  cliflags.Analysis
+		out cliflags.Output
 	)
+	var (
+		target   = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
+		size     = fs.Uint64("size", 64*4096, "hidden region size in bytes")
+		window   = fs.Uint64("window", 64, "search window in multiples of the region size")
+		requests = fs.Int("requests", 50, "cherokee: requests per timing batch")
+	)
+	an.RegisterSeed(fs)
+	out.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return fmt.Errorf("%w: %v", errFlagParse, err)
 	}
-
-	switch *format {
-	case "text", "json":
-	default:
-		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, *format)
+	if err := out.Validate(); err != nil {
+		return err
 	}
 
 	pr := &probeRun{w: stdout, col: metrics.NewCollector("probe", *target, 1)}
-	if *format == "json" {
+	if out.JSON() {
 		pr.w = io.Discard
 	}
+	pr.doc.Schema = crashresist.SchemaV1
 	pr.doc.Target = *target
 
 	var err error
 	switch *target {
 	case "ie", "firefox":
-		err = pr.probeBrowser(*target, *size, *window, *seed)
+		err = pr.probeBrowser(*target, *size, *window, an.Seed)
 	case "nginx":
-		err = pr.probeNginx(*size, *window, *seed)
+		err = pr.probeNginx(*size, *window, an.Seed)
 	case "cherokee":
-		err = pr.probeCherokee(*requests, *seed)
+		err = pr.probeCherokee(*requests, an.Seed)
 	default:
 		return fmt.Errorf("%w: unknown -target %q (want ie, firefox, nginx or cherokee)", crashresist.ErrBadParams, *target)
 	}
@@ -133,10 +136,8 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	}
 
 	stats := pr.col.Snapshot()
-	if *showMetrics {
-		fmt.Fprint(stderr, stats.Format())
-	}
-	if *format == "json" {
+	out.EmitStats(stderr, stats)
+	if out.JSON() {
 		pr.doc.Stats = stats
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -26,36 +26,38 @@ import (
 	"os"
 
 	"crashresist"
+	"crashresist/cmd/internal/cliflags"
 )
 
 func main() {
 	var (
-		table       = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
-		scale       = flag.String("scale", "paper", "corpus scale: paper or small")
-		seed        = flag.Int64("seed", 42, "analysis seed (fixes ASLR)")
-		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
-		format      = flag.String("format", "text", "output format: text or json")
-		showMetrics = flag.Bool("metrics", false, "print per-run stats to stderr")
-		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
-		traceFile   = flag.String("trace", "", "write all runs' span trees to this file as Chrome trace-event JSON")
-		cacheDir    = flag.String("cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
+		an  cliflags.Analysis
+		out cliflags.Output
 	)
+	var (
+		table = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
+		scale = flag.String("scale", "paper", "corpus scale: paper or small")
+	)
+	an.RegisterSeed(flag.CommandLine)
+	an.RegisterPool(flag.CommandLine)
+	an.RegisterChaos(flag.CommandLine)
+	out.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := config{
 		table:     *table,
 		scale:     *scale,
-		format:    *format,
-		seed:      *seed,
-		workers:   *workers,
-		chaosSeed: *chaosSeed,
+		format:    out.Format,
+		seed:      an.Seed,
+		workers:   an.Workers,
+		chaosSeed: an.ChaosSeed,
 	}
-	if *showMetrics {
+	if out.Metrics {
 		cfg.metricsW = os.Stderr
 	}
-	cfg.cache = openCacheOrWarn(os.Stderr, *cacheDir)
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	cfg.cache = openCacheOrWarn(os.Stderr, an.CacheDir)
+	if an.Trace != "" {
+		f, err := os.Create(an.Trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crtables:", err)
 			os.Exit(1)
@@ -97,20 +99,14 @@ type config struct {
 // means caching is off. Failure to open is a warning, not an error: the
 // command degrades to cold computation and still exits 0.
 func openCacheOrWarn(errW io.Writer, dir string) *crashresist.AnalysisCache {
-	if dir == "" {
-		return nil
-	}
-	c, err := crashresist.OpenAnalysisCache(dir)
-	if err != nil {
-		fmt.Fprintf(errW, "crtables: cache disabled: %v\n", err)
-		return nil
-	}
-	return c
+	a := cliflags.Analysis{CacheDir: dir}
+	return a.OpenCache(errW, "crtables")
 }
 
 // document is the -format=json artifact bundle. Only requested artifacts
 // are present.
 type document struct {
+	Schema string                       `json:"schema"`
 	TableI []*crashresist.SyscallReport `json:"table1,omitempty"`
 	Funnel *crashresist.APIFunnelReport `json:"funnel,omitempty"`
 	SEH    *crashresist.SEHReport       `json:"seh,omitempty"`
@@ -172,7 +168,7 @@ func emit(w io.Writer, cfg config) error {
 			crashresist.WithRetry(2))
 	}
 
-	var doc document
+	doc := document{Schema: crashresist.SchemaV1}
 	var runs []*crashresist.RunStats
 
 	if want("1") {

@@ -1,0 +1,104 @@
+// Package cliflags holds the flag definitions and option plumbing shared
+// by the crashresist commands (crtables, crdiscover, crmon, crprobe), so
+// `-workers` or `-cache-dir` means exactly the same thing — same default,
+// same help text, same behavior on a broken cache directory — no matter
+// which tool it is passed to.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"crashresist"
+)
+
+// Analysis groups the analysis-tuning flags. Register the subsets a
+// command supports, Parse, then build library options with Options.
+type Analysis struct {
+	Seed      int64
+	Workers   int
+	ChaosSeed int64
+	CacheDir  string
+	Trace     string
+}
+
+// RegisterSeed adds -seed.
+func (a *Analysis) RegisterSeed(fs *flag.FlagSet) {
+	fs.Int64Var(&a.Seed, "seed", 42, "analysis seed (fixes ASLR)")
+}
+
+// RegisterPool adds -workers and -cache-dir.
+func (a *Analysis) RegisterPool(fs *flag.FlagSet) {
+	fs.IntVar(&a.Workers, "workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	fs.StringVar(&a.CacheDir, "cache-dir", "", "persist per-unit analysis results under this directory and reuse them on later runs")
+}
+
+// RegisterChaos adds -chaos-seed and -trace.
+func (a *Analysis) RegisterChaos(fs *flag.FlagSet) {
+	fs.Int64Var(&a.ChaosSeed, "chaos-seed", 0, "inject deterministic faults from this seed, with retry and graceful degradation (0 = off)")
+	fs.StringVar(&a.Trace, "trace", "", "write the run span trees to this file as Chrome trace-event JSON")
+}
+
+// OpenCache opens -cache-dir, or returns nil (with a warning on stderr)
+// when the flag is unset or the directory is unusable: a broken cache dir
+// costs recomputation, never the run.
+func (a *Analysis) OpenCache(stderr io.Writer, tool string) *crashresist.AnalysisCache {
+	if a.CacheDir == "" {
+		return nil
+	}
+	c, err := crashresist.OpenAnalysisCache(a.CacheDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: cache disabled: %v\n", tool, err)
+		return nil
+	}
+	return c
+}
+
+// Options translates the parsed flags into library options: the worker
+// pool, the persistent cache (when -cache-dir opens), and — under
+// -chaos-seed — the default fault plan with two retries.
+func (a *Analysis) Options(stderr io.Writer, tool string) []crashresist.Option {
+	opts := []crashresist.Option{crashresist.WithWorkers(a.Workers)}
+	if c := a.OpenCache(stderr, tool); c != nil {
+		opts = append(opts, crashresist.WithCache(c))
+	}
+	if a.ChaosSeed != 0 {
+		opts = append(opts,
+			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(a.ChaosSeed)),
+			crashresist.WithRetry(2))
+	}
+	return opts
+}
+
+// Output groups the report-rendering flags.
+type Output struct {
+	Format  string
+	Metrics bool
+}
+
+// Register adds -format and -metrics.
+func (o *Output) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Format, "format", "text", "output format: text or json")
+	fs.BoolVar(&o.Metrics, "metrics", false, "print run stats to stderr")
+}
+
+// Validate rejects unknown -format values.
+func (o *Output) Validate() error {
+	switch o.Format {
+	case "text", "json":
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, o.Format)
+	}
+}
+
+// JSON reports whether -format json was selected.
+func (o *Output) JSON() bool { return o.Format == "json" }
+
+// EmitStats writes run stats to w when -metrics is on.
+func (o *Output) EmitStats(w io.Writer, st *crashresist.RunStats) {
+	if o.Metrics && st != nil {
+		fmt.Fprint(w, st.Format())
+	}
+}

@@ -408,62 +408,83 @@ func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
 
 // AnalyzeServer runs the Linux syscall pipeline against one server target.
 // The seed fixes ASLR across the observation and validation runs.
+//
+// It is a convenience wrapper over Run: equivalent to running
+// Request{Server: srv, Seed: seed} with the options as functional
+// overrides. New code may prefer Run directly.
 func AnalyzeServer(srv *ServerTarget, seed int64, opts ...Option) (*SyscallReport, error) {
 	return AnalyzeServerContext(context.Background(), srv, seed, opts...)
 }
 
 // AnalyzeServerContext is AnalyzeServer with cancellation: the pipeline
 // checks ctx between stages and before each validation replay, returning
-// ctx.Err() once it is done.
+// ctx.Err() once it is done. It wraps Run(ctx, Request{Server: srv, ...}).
 func AnalyzeServerContext(ctx context.Context, srv *ServerTarget, seed int64, opts ...Option) (*SyscallReport, error) {
-	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeContext(ctx, srv)
+	res, err := Run(ctx, Request{Server: srv, Seed: seed, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return res.Syscall, nil
 }
 
 // AnalyzeServers runs the Linux syscall pipeline against every server in
 // parallel, returning reports in input order.
+//
+// It is a convenience wrapper over Run: equivalent to running
+// Request{Servers: servers, Seed: seed}. New code may prefer Run directly.
 func AnalyzeServers(servers []*ServerTarget, seed int64, opts ...Option) ([]*SyscallReport, error) {
 	return AnalyzeServersContext(context.Background(), servers, seed, opts...)
 }
 
-// AnalyzeServersContext is AnalyzeServers with cancellation.
+// AnalyzeServersContext is AnalyzeServers with cancellation. It wraps
+// Run(ctx, Request{Servers: servers, ...}).
 func AnalyzeServersContext(ctx context.Context, servers []*ServerTarget, seed int64, opts ...Option) ([]*SyscallReport, error) {
-	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeAllContext(ctx, servers)
+	res, err := Run(ctx, Request{Servers: servers, Seed: seed, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return res.Servers, nil
 }
 
 // AnalyzeBrowserAPIs runs the Windows API pipeline against a browser target.
+//
+// It is a convenience wrapper over Run: equivalent to running
+// Request{Pipeline: PipelineAPI, Browser: br, Seed: seed}. New code may
+// prefer Run directly.
 func AnalyzeBrowserAPIs(br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
 	return AnalyzeBrowserAPIsContext(context.Background(), br, seed, opts...)
 }
 
 // AnalyzeBrowserAPIsContext is AnalyzeBrowserAPIs with cancellation: the
 // pipeline checks ctx between stages and before each fuzzing or
-// classification job.
+// classification job. It wraps Run(ctx, Request{Pipeline: PipelineAPI, ...}).
 func AnalyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*APIFunnelReport, error) {
-	o := buildOptions(opts)
-	a := &discover.APIAnalyzer{
-		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
-		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache,
+	res, err := Run(ctx, Request{Pipeline: PipelineAPI, Browser: br, Seed: seed, Options: opts})
+	if err != nil {
+		return nil, err
 	}
-	return a.AnalyzeContext(ctx, br)
+	return res.Funnel, nil
 }
 
 // AnalyzeBrowserSEH runs the exception-handler pipeline against a browser
 // target.
+//
+// It is a convenience wrapper over Run: equivalent to running
+// Request{Pipeline: PipelineSEH, Browser: br, Seed: seed}. New code may
+// prefer Run directly.
 func AnalyzeBrowserSEH(br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
 	return AnalyzeBrowserSEHContext(context.Background(), br, seed, opts...)
 }
 
 // AnalyzeBrowserSEHContext is AnalyzeBrowserSEH with cancellation: the
-// pipeline checks ctx between stages and before each per-DLL symex job.
+// pipeline checks ctx between stages and before each per-DLL symex job. It
+// wraps Run(ctx, Request{Pipeline: PipelineSEH, ...}).
 func AnalyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64, opts ...Option) (*SEHReport, error) {
-	o := buildOptions(opts)
-	a := &discover.SEHAnalyzer{
-		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
-		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache,
+	res, err := Run(ctx, Request{Pipeline: PipelineSEH, Browser: br, Seed: seed, Options: opts})
+	if err != nil {
+		return nil, err
 	}
-	return a.AnalyzeContext(ctx, br)
+	return res.SEH, nil
 }
 
 // PriorWork checks an SEH report for the §VII-A previously-published

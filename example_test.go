@@ -1,6 +1,7 @@
 package crashresist_test
 
 import (
+	"context"
 	"fmt"
 
 	"crashresist"
@@ -70,4 +71,23 @@ func ExampleAnalyzeBrowserAPIs() {
 	}
 	fmt.Println(rep.Controllable)
 	// Output: 0
+}
+
+// Run is the unified entry point behind every pipeline: name a target,
+// get back the typed result envelope. The per-pipeline Analyze* functions
+// are thin wrappers over it.
+func ExampleRun() {
+	res, err := crashresist.Run(context.Background(), crashresist.Request{
+		Target: "nginx",
+		Seed:   42,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Schema, res.Pipeline, res.Target)
+	fmt.Println(res.Syscall.Usable())
+	// Output:
+	// v1 syscall nginx
+	// [recv]
 }

@@ -108,6 +108,8 @@ type APIClassification struct {
 
 // APIFunnelReport reproduces the §V-B funnel.
 type APIFunnelReport struct {
+	// Schema versions the report's wire format (WireSchemaV1).
+	Schema  string `json:"schema"`
 	Browser string `json:"browser"`
 	// The funnel: 20,672 → 11,521 → 400 → 25 → 12 → 0 in the paper.
 	Total          int `json:"total"`           // API functions in the corpus
@@ -267,6 +269,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	}
 
 	report := &APIFunnelReport{
+		Schema:         WireSchemaV1,
 		Browser:        br.Name,
 		Total:          reg.Len(),
 		WithPointer:    len(ptrAPIs),

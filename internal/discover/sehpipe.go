@@ -42,6 +42,8 @@ type SEHCandidate struct {
 
 // SEHReport is the exception-handler pipeline result for one browser.
 type SEHReport struct {
+	// Schema versions the report's wire format (WireSchemaV1).
+	Schema  string      `json:"schema"`
 	Browser string      `json:"browser"`
 	Modules []ModuleSEH `json:"modules,omitempty"`
 	// Totals across all modules.
@@ -194,7 +196,7 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		return nil, fmt.Errorf("browse: %w", err)
 	}
 
-	report := &SEHReport{Browser: br.Name}
+	report := &SEHReport{Schema: WireSchemaV1, Browser: br.Name}
 
 	// The paper's per-DLL analysis covers libraries; the executable
 	// itself carries no scope tables here. A degraded browse leaves no

@@ -165,6 +165,8 @@ type Finding struct {
 
 // SyscallReport is the per-server Table I result.
 type SyscallReport struct {
+	// Schema versions the report's wire format (WireSchemaV1).
+	Schema string `json:"schema"`
 	Server string `json:"server"`
 	// Status holds the final per-syscall classification for every
 	// EFAULT-capable syscall.
@@ -313,6 +315,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 	}
 
 	report := &SyscallReport{
+		Schema: WireSchemaV1,
 		Server: srv.Name,
 		Status: make(map[string]SyscallStatus),
 	}

@@ -1,0 +1,13 @@
+package discover
+
+// WireSchemaV1 versions every JSON document the toolkit emits: the three
+// pipeline reports, the crtables/crprobe artifact bundles, and the
+// discovery service's job API payloads. Consumers check the schema field
+// before relying on field names; producers stamp it at report-construction
+// time so it survives any marshal path (CLI, cache replay, job API).
+//
+// The v1 contract: all field names are snake_case, enums use their stable
+// string tokens, and observability lives only under "stats" — stripping
+// that one key yields the deterministic, worker-count-invariant identity
+// of a report.
+const WireSchemaV1 = "v1"

@@ -43,7 +43,7 @@ type Registry struct {
 	runs     map[promLabels]uint64
 	wallNS   map[promLabels]int64
 	hists    map[promStageLabels]*HistSnapshot
-	recent   []*RunStats
+	recent   *Ring[*RunStats]
 }
 
 // NewRegistry returns an empty registry.
@@ -53,6 +53,7 @@ func NewRegistry() *Registry {
 		runs:     make(map[promLabels]uint64),
 		wallNS:   make(map[promLabels]int64),
 		hists:    make(map[promStageLabels]*HistSnapshot),
+		recent:   NewRing[*RunStats](tracedRuns),
 	}
 }
 
@@ -89,10 +90,7 @@ func (g *Registry) Flush(stats *RunStats) error {
 		}
 		h.Merge(st.Latency)
 	}
-	g.recent = append(g.recent, stats)
-	if len(g.recent) > tracedRuns {
-		g.recent = g.recent[len(g.recent)-tracedRuns:]
-	}
+	g.recent.Push(stats)
 	return nil
 }
 
@@ -103,7 +101,7 @@ func (g *Registry) Runs() []*RunStats {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return append([]*RunStats(nil), g.recent...)
+	return g.recent.Items()
 }
 
 // promLabelPair renders the {pipeline,target} label set.

@@ -24,6 +24,14 @@ func AllServers() ([]*Server, error) {
 	return out, nil
 }
 
+// ServerNames lists the Table I server names in column order without
+// building the targets (TestServerNamesMatchBuilders pins the list
+// against AllServers). Request validation uses it to reject unknown
+// targets cheaply.
+func ServerNames() []string {
+	return []string{"nginx", "cherokee", "lighttpd", "memcached", "postgresql"}
+}
+
 // ServerByName builds one server target by its Table I name.
 func ServerByName(name string) (*Server, error) {
 	all, err := AllServers()

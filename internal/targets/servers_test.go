@@ -297,3 +297,22 @@ func TestPostgresResponds(t *testing.T) {
 		t.Errorf("response = %q", resp)
 	}
 }
+
+// TestServerNamesMatchBuilders pins the static ServerNames list against
+// the servers AllServers actually builds, so Request validation can never
+// drift from the real target set.
+func TestServerNamesMatchBuilders(t *testing.T) {
+	all, err := AllServers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ServerNames()
+	if len(names) != len(all) {
+		t.Fatalf("ServerNames lists %d servers, AllServers builds %d", len(names), len(all))
+	}
+	for i, srv := range all {
+		if names[i] != srv.Name {
+			t.Errorf("ServerNames[%d] = %q, AllServers[%d].Name = %q", i, names[i], i, srv.Name)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package crashresist
+
+// The unified analysis entry point: one Request struct and one Run call
+// subsume the per-pipeline Analyze*Context variants. Request doubles as
+// the wire shape of the discovery service's job submissions (the
+// serializable subset) — internal/service decodes a Request straight off
+// POST /v1/jobs — so library callers and API tenants share one surface.
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"time"
+
+	"crashresist/internal/discover"
+	"crashresist/internal/targets"
+)
+
+// SchemaV1 is the wire-format version stamped on every JSON document the
+// toolkit emits: pipeline reports, Result envelopes, the crtables/crprobe
+// artifact bundles, and the job API payloads. See DESIGN.md §11.
+const SchemaV1 = discover.WireSchemaV1
+
+// Pipeline selectors for Request.Pipeline.
+const (
+	// PipelineSyscall is the Linux syscall pipeline (Table I).
+	PipelineSyscall = "syscall"
+	// PipelineAPI is the Windows API pipeline (the §V-B funnel).
+	PipelineAPI = "api"
+	// PipelineSEH is the exception-handler pipeline (Tables II/III).
+	PipelineSEH = "seh"
+)
+
+// Request describes one analysis run for Run. The zero value is not
+// runnable — at minimum a target must be named or attached.
+//
+// The exported, json-tagged fields form the v1 wire schema used by the
+// discovery service's job API; the `json:"-"` fields are in-process
+// attachments (pre-built targets, live callbacks, an open cache) that
+// never cross the wire. When both a wire field and its attachment are set,
+// the attachment wins.
+type Request struct {
+	// Pipeline selects syscall, api or seh. Empty infers it from the
+	// target: servers run syscall, browsers run seh.
+	Pipeline string `json:"pipeline,omitempty"`
+	// Target names the analysis subject: one of the Table I servers
+	// (nginx, cherokee, lighttpd, memcached, postgresql), a browser (ie,
+	// firefox), or "all" for every server in parallel (syscall pipeline
+	// only). Ignored when Server, Servers or Browser is attached.
+	Target string `json:"target,omitempty"`
+	// Scale sizes a browser corpus: "paper" or "small" (the default).
+	// Server targets ignore it.
+	Scale string `json:"scale,omitempty"`
+	// Seed fixes ASLR and every derived RNG; reports are byte-identical
+	// per seed at any worker count.
+	Seed int64 `json:"seed"`
+	// Workers bounds the analysis worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Retries bounds per-job re-runs after transient failures (see
+	// WithRetry). With ChaosSeed set and Retries zero, 2 is used.
+	Retries int `json:"retries,omitempty"`
+	// StageTimeout bounds each fanned-out pipeline stage (see
+	// WithStageTimeout). Serialized in nanoseconds.
+	StageTimeout time.Duration `json:"stage_timeout_ns,omitempty"`
+	// ChaosSeed, when non-zero, runs the analysis under the default fault
+	// plan seeded with it (chaos mode). Ignored when FaultPlan is attached.
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// CacheDir roots a persistent analysis cache, degrading silently to an
+	// uncached run when unusable (see WithCacheDir). Ignored when Cache is
+	// attached.
+	CacheDir string `json:"cache_dir,omitempty"`
+
+	// Server attaches a pre-built server target (syscall pipeline).
+	Server *ServerTarget `json:"-"`
+	// Servers attaches several pre-built server targets, analyzed in
+	// parallel with results in input order (syscall pipeline).
+	Servers []*ServerTarget `json:"-"`
+	// Browser attaches a pre-built browser target (api or seh pipeline).
+	Browser *BrowserTarget `json:"-"`
+	// FaultPlan attaches a fault injection plan (see WithFaultPlan).
+	FaultPlan *FaultPlan `json:"-"`
+	// Cache attaches an open persistent analysis cache (see WithCache).
+	Cache *AnalysisCache `json:"-"`
+	// Progress receives live StageEvents (see WithProgress).
+	Progress func(StageEvent) `json:"-"`
+	// Sinks receive live events and the final RunStats (see WithSink).
+	Sinks []MetricSink `json:"-"`
+	// Options are functional options applied after — and therefore
+	// overriding — the fields above. They exist so the legacy
+	// Analyze*Context entry points can be thin wrappers over Run.
+	Options []Option `json:"-"`
+}
+
+// Result is Run's envelope: exactly one report field matching the resolved
+// pipeline is populated (Servers for the multi-server syscall mode). Its
+// JSON form — schema-stamped, snake_case — is what the discovery service
+// stores and serves as a completed job's result.
+type Result struct {
+	// Schema is the wire-format version (SchemaV1).
+	Schema string `json:"schema"`
+	// Pipeline is the resolved pipeline: syscall, api or seh.
+	Pipeline string `json:"pipeline"`
+	// Target is the resolved target name ("all" for the multi-server run).
+	Target string `json:"target"`
+	// Syscall is the single-server Table I report.
+	Syscall *SyscallReport `json:"syscall,omitempty"`
+	// Servers holds the multi-server Table I reports in input order.
+	Servers []*SyscallReport `json:"servers,omitempty"`
+	// Funnel is the §V-B API funnel report.
+	Funnel *APIFunnelReport `json:"funnel,omitempty"`
+	// SEH is the Tables II/III report.
+	SEH *SEHReport `json:"seh,omitempty"`
+}
+
+// Report returns the populated report: *SyscallReport, []*SyscallReport,
+// *APIFunnelReport or *SEHReport.
+func (r *Result) Report() any {
+	switch {
+	case r == nil:
+		return nil
+	case r.Syscall != nil:
+		return r.Syscall
+	case r.Servers != nil:
+		return r.Servers
+	case r.Funnel != nil:
+		return r.Funnel
+	case r.SEH != nil:
+		return r.SEH
+	}
+	return nil
+}
+
+// RunStats returns the observability records of every run in the result
+// (one per analyzed target).
+func (r *Result) RunStats() []*RunStats {
+	if r == nil {
+		return nil
+	}
+	var out []*RunStats
+	switch {
+	case r.Syscall != nil:
+		out = append(out, r.Syscall.Stats)
+	case r.Servers != nil:
+		for _, rep := range r.Servers {
+			out = append(out, rep.Stats)
+		}
+	case r.Funnel != nil:
+		out = append(out, r.Funnel.Stats)
+	case r.SEH != nil:
+		out = append(out, r.SEH.Stats)
+	}
+	return out
+}
+
+// DegradedJobs returns every job dropped by graceful degradation across
+// the result's reports; empty for clean runs.
+func (r *Result) DegradedJobs() []Degraded {
+	if r == nil {
+		return nil
+	}
+	var out []Degraded
+	switch {
+	case r.Syscall != nil:
+		out = append(out, r.Syscall.Degraded...)
+	case r.Servers != nil:
+		for _, rep := range r.Servers {
+			out = append(out, rep.Degraded...)
+		}
+	case r.Funnel != nil:
+		out = append(out, r.Funnel.Degraded...)
+	case r.SEH != nil:
+		out = append(out, r.SEH.Degraded...)
+	}
+	return out
+}
+
+// options converts the request's declarative fields into the option list
+// the pipelines consume, with req.Options appended last so functional
+// options override fields.
+func (req Request) options() []Option {
+	opts := []Option{WithWorkers(req.Workers)}
+	retries := req.Retries
+	plan := req.FaultPlan
+	if plan == nil && req.ChaosSeed != 0 {
+		plan = DefaultFaultPlan(req.ChaosSeed)
+	}
+	if plan != nil {
+		opts = append(opts, WithFaultPlan(plan))
+		if retries == 0 {
+			// Chaos without a retry budget degrades every injected fault
+			// into a dropped job; mirror the CLIs' default budget instead.
+			retries = 2
+		}
+	}
+	if retries != 0 {
+		opts = append(opts, WithRetry(retries))
+	}
+	if req.StageTimeout != 0 {
+		opts = append(opts, WithStageTimeout(req.StageTimeout))
+	}
+	switch {
+	case req.Cache != nil:
+		opts = append(opts, WithCache(req.Cache))
+	case req.CacheDir != "":
+		opts = append(opts, WithCacheDir(req.CacheDir))
+	}
+	if req.Progress != nil {
+		opts = append(opts, WithProgress(req.Progress))
+	}
+	for _, s := range req.Sinks {
+		opts = append(opts, WithSink(s))
+	}
+	return append(opts, req.Options...)
+}
+
+// Validate checks the request's declarative fields without building any
+// target: pipeline and scale selectors must be known, a target must be
+// named or attached, and the pipeline must suit the target kind. Run
+// performs the same checks; Validate exists so services can reject a bad
+// request before queueing it. Errors match ErrBadParams or
+// ErrUnknownServer via errors.Is.
+func (req Request) Validate() error {
+	switch req.Pipeline {
+	case "", PipelineSyscall, PipelineAPI, PipelineSEH:
+	default:
+		return fmt.Errorf("%w: unknown pipeline %q (want syscall, api or seh)", ErrBadParams, req.Pipeline)
+	}
+	switch req.Scale {
+	case "", "small", "paper":
+	default:
+		return fmt.Errorf("%w: unknown scale %q (want paper or small)", ErrBadParams, req.Scale)
+	}
+	browser := false
+	switch {
+	case req.Servers != nil, req.Server != nil:
+	case req.Browser != nil:
+		browser = true
+	default:
+		switch req.Target {
+		case "":
+			return fmt.Errorf("%w: request names no target", ErrBadParams)
+		case "all":
+		case "ie", "firefox":
+			browser = true
+		default:
+			if !slices.Contains(targets.ServerNames(), req.Target) {
+				return fmt.Errorf("%w: %q", ErrUnknownServer, req.Target)
+			}
+		}
+	}
+	if browser && req.Pipeline == PipelineSyscall {
+		return fmt.Errorf("%w: the syscall pipeline needs a server target", ErrBadParams)
+	}
+	if !browser && (req.Pipeline == PipelineAPI || req.Pipeline == PipelineSEH) {
+		return fmt.Errorf("%w: pipeline %q needs a browser target", ErrBadParams, req.Pipeline)
+	}
+	return nil
+}
+
+// browserParams resolves the request's Scale.
+func (req Request) browserParams() (BrowserParams, error) {
+	switch req.Scale {
+	case "", "small":
+		return SmallBrowserParams(), nil
+	case "paper":
+		return PaperBrowserParams(), nil
+	}
+	return BrowserParams{}, fmt.Errorf("%w: unknown scale %q (want paper or small)", ErrBadParams, req.Scale)
+}
+
+// Run executes one analysis described by req and returns its result
+// envelope. It is the single entry point behind every pipeline — the
+// legacy Analyze*Context functions are thin wrappers over it — and the
+// execution core of the discovery service's job API.
+//
+// Resolution rules: an attached Server/Servers/Browser wins over the
+// Target name; an empty Pipeline defaults to syscall for servers and seh
+// for browsers; Target "all" fans the syscall pipeline out over every
+// Table I server. Mismatches (a server target with the seh pipeline, an
+// unknown name) return errors matching ErrBadParams or ErrUnknownServer.
+//
+// Determinism contract: for a fixed request, the result's reports are
+// byte-identical (Stats aside) at any Workers value, with any cache state,
+// and whether invoked directly or through the service.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	opts := req.options()
+
+	// Attachment-mode requests.
+	switch {
+	case req.Servers != nil:
+		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
+			return nil, fmt.Errorf("%w: pipeline %q cannot analyze server targets", ErrBadParams, req.Pipeline)
+		}
+		reports, err := analyzeServersContext(ctx, req.Servers, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		target := "all"
+		if len(req.Servers) == 1 {
+			target = req.Servers[0].Name
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: target, Servers: reports}, nil
+	case req.Server != nil:
+		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
+			return nil, fmt.Errorf("%w: pipeline %q cannot analyze server targets", ErrBadParams, req.Pipeline)
+		}
+		rep, err := analyzeServerContext(ctx, req.Server, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: req.Server.Name, Syscall: rep}, nil
+	case req.Browser != nil:
+		return runBrowser(ctx, req, req.Browser, req.Browser.Name, opts)
+	}
+
+	// Name-mode requests.
+	switch req.Target {
+	case "":
+		return nil, fmt.Errorf("%w: request names no target", ErrBadParams)
+	case "all":
+		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
+			return nil, fmt.Errorf("%w: target \"all\" runs the syscall pipeline, not %q", ErrBadParams, req.Pipeline)
+		}
+		servers, err := Servers()
+		if err != nil {
+			return nil, err
+		}
+		reports, err := analyzeServersContext(ctx, servers, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: "all", Servers: reports}, nil
+	case "ie", "firefox":
+		params, err := req.browserParams()
+		if err != nil {
+			return nil, err
+		}
+		var br *BrowserTarget
+		if req.Target == "ie" {
+			br, err = IE(params)
+		} else {
+			br, err = Firefox(params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return runBrowser(ctx, req, br, req.Target, opts)
+	default:
+		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
+			return nil, fmt.Errorf("%w: pipeline %q needs a browser target, got %q", ErrBadParams, req.Pipeline, req.Target)
+		}
+		srv, err := Server(req.Target)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := analyzeServerContext(ctx, srv, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: srv.Name, Syscall: rep}, nil
+	}
+}
+
+// runBrowser dispatches a browser target to the api or seh pipeline.
+func runBrowser(ctx context.Context, req Request, br *BrowserTarget, target string, opts []Option) (*Result, error) {
+	pl := req.Pipeline
+	if pl == "" {
+		pl = PipelineSEH
+	}
+	switch pl {
+	case PipelineAPI:
+		rep, err := analyzeBrowserAPIsContext(ctx, br, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineAPI, Target: target, Funnel: rep}, nil
+	case PipelineSEH:
+		rep, err := analyzeBrowserSEHContext(ctx, br, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSEH, Target: target, SEH: rep}, nil
+	case PipelineSyscall:
+		return nil, fmt.Errorf("%w: the syscall pipeline needs a server target, got browser %q", ErrBadParams, target)
+	default:
+		return nil, fmt.Errorf("%w: unknown pipeline %q (want syscall, api or seh)", ErrBadParams, pl)
+	}
+}
+
+// The pipeline cores, shared by Run and the legacy wrappers. Each builds
+// its analyzer from the resolved option set and runs it.
+
+func analyzeServerContext(ctx context.Context, srv *ServerTarget, seed int64, opts []Option) (*SyscallReport, error) {
+	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeContext(ctx, srv)
+}
+
+func analyzeServersContext(ctx context.Context, servers []*ServerTarget, seed int64, opts []Option) ([]*SyscallReport, error) {
+	return buildOptions(opts).syscallAnalyzer(seed).AnalyzeAllContext(ctx, servers)
+}
+
+func analyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int64, opts []Option) (*APIFunnelReport, error) {
+	o := buildOptions(opts)
+	a := &discover.APIAnalyzer{
+		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
+		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+		Cache: o.cache,
+	}
+	return a.AnalyzeContext(ctx, br)
+}
+
+func analyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64, opts []Option) (*SEHReport, error) {
+	o := buildOptions(opts)
+	a := &discover.SEHAnalyzer{
+		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
+		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
+		Cache: o.cache,
+	}
+	return a.AnalyzeContext(ctx, br)
+}

@@ -1,0 +1,144 @@
+package crashresist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crashresist"
+)
+
+// updateSchema rewrites the schema goldens from the current output:
+//
+//	go test -run TestSchemaV1Golden -update-schema
+var updateSchema = flag.Bool("update-schema", false, "rewrite schema v1 golden files")
+
+// schemaNormalize removes every "stats" key (the one run-dependent part
+// of a report) and re-marshals indented with sorted keys, giving a stable
+// byte form to pin.
+func schemaNormalize(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var walk func(v any)
+	walk = func(v any) {
+		switch vv := v.(type) {
+		case map[string]any:
+			delete(vv, "stats")
+			for _, child := range vv {
+				walk(child)
+			}
+		case []any:
+			for _, child := range vv {
+				walk(child)
+			}
+		}
+	}
+	walk(doc)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestSchemaV1Golden pins the v1 wire format — every snake_case field
+// name, enum token and envelope shape — against golden JSON, and proves
+// the documents round-trip through the typed structs. A diff here is a
+// schema change: either fix the regression or consciously bump the
+// schema and regenerate with -update-schema.
+func TestSchemaV1Golden(t *testing.T) {
+	cases := []struct {
+		name string
+		req  crashresist.Request
+	}{
+		{"result_syscall", crashresist.Request{Pipeline: "syscall", Target: "nginx", Seed: 42}},
+		{"result_api", crashresist.Request{Pipeline: "api", Target: "ie", Scale: "small", Seed: 42}},
+		{"result_seh", crashresist.Request{Pipeline: "seh", Target: "ie", Scale: "small", Seed: 42}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := crashresist.Run(context.Background(), tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := schemaNormalize(t, res)
+			path := filepath.Join("testdata", "golden", "schema_"+tc.name+".json")
+			if *updateSchema {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-schema to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("schema drift against %s:\n got %d bytes\nwant %d bytes\n(diff the file after -update-schema to inspect)", path, len(got), len(want))
+			}
+
+			// Round-trip: the golden must decode into the typed envelope
+			// and re-marshal to the identical bytes, proving the tags
+			// decode as well as encode.
+			var back crashresist.Result
+			if err := json.Unmarshal(want, &back); err != nil {
+				t.Fatalf("golden does not decode into Result: %v", err)
+			}
+			if back.Schema != crashresist.SchemaV1 {
+				t.Fatalf("golden schema %q, want %q", back.Schema, crashresist.SchemaV1)
+			}
+			again := schemaNormalize(t, &back)
+			if !bytes.Equal(again, want) {
+				t.Error("Result does not round-trip through its JSON tags")
+			}
+		})
+	}
+}
+
+// TestSchemaV1RequestRoundTrip pins the serializable Request subset: the
+// wire field names, and that attachments (targets, cache, callbacks)
+// never leak into JSON.
+func TestSchemaV1RequestRoundTrip(t *testing.T) {
+	req := crashresist.Request{
+		Pipeline:  "seh",
+		Target:    "ie",
+		Scale:     "small",
+		Seed:      42,
+		Workers:   4,
+		Retries:   2,
+		ChaosSeed: 7,
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"pipeline":"seh","target":"ie","scale":"small","seed":42,"workers":4,"retries":2,"chaos_seed":7}`
+	if string(raw) != want {
+		t.Errorf("Request wire form drifted:\n got %s\nwant %s", raw, want)
+	}
+	var back crashresist.Request
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != want {
+		t.Errorf("Request does not round-trip: %s", again)
+	}
+}
