@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race fuzz-short chaos bench golden-update
+.PHONY: ci test race fuzz-short chaos scale bench golden-update
 
 # ci is the full gate run by .github/workflows/ci.yml.
 ci:
@@ -23,11 +23,20 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzImageParse -fuzztime=30s ./internal/bin
 	$(GO) test -fuzz=FuzzScopeTableParse -fuzztime=30s ./internal/seh
 	$(GO) test -fuzz=FuzzCacheEntryDecode -fuzztime=30s ./internal/cas
+	$(GO) test -fuzz=FuzzGenDLL -fuzztime=30s ./internal/targets
+	$(GO) test -fuzz=FuzzGenServer -fuzztime=30s ./internal/targets
 
 # chaos runs the full paper-scale fault-injection sweep under the race
 # detector; tier-1 (`make test`/`make race`) only runs the trimmed sweep.
 chaos:
 	CHAOS_SCALE=paper $(GO) test -race -run 'TestChaos|TestStageTimeout' -v .
+
+# scale runs the full large-scale property harness (paper corpus + 1,870
+# generated DLLs, 60-server generated fleet) under the race detector;
+# tier-1 runs the same properties on a trimmed generated population.
+# CRASHRESIST_SCALE_N=<n> overrides the generated DLL count directly.
+scale:
+	CRASHRESIST_SCALE=large $(GO) test -race -run 'TestScale' -v .
 
 # bench emits benchstat-comparable text (bench.txt — feed two of them to
 # `benchstat old.txt new.txt`) and a machine-readable BENCH_PR5.json via

@@ -46,11 +46,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out cliflags.Output
 	)
 	var (
-		target    = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|all")
+		target    = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|all|gen|gen-<i>")
 		pipeline  = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		scale     = fs.String("scale", "small", "browser corpus scale: paper or small")
 		serveAddr = fs.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
 	)
+	an.RegisterScale(fs, "small")
 	an.RegisterSeed(fs)
 	an.RegisterPool(fs)
 	an.RegisterChaos(fs)
@@ -84,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	res, err := crashresist.Run(context.Background(), crashresist.Request{
 		Pipeline: *pipeline,
 		Target:   *target,
-		Scale:    *scale,
+		Scale:    an.Scale,
 		Seed:     an.Seed,
 		Options:  opts,
 	})

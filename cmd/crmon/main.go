@@ -57,14 +57,14 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	var (
 		addr     = fs.String("addr", ":9090", "listen address for /metrics, /trace.json, /debug/vars, /debug/pprof")
 		serve    = fs.Bool("serve", false, "serve the multi-tenant job API (POST /v1/jobs) instead of looping one pipeline")
-		target   = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox")
+		target   = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|gen-<i>")
 		pipeline = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		scale    = fs.String("scale", "small", "browser corpus scale: paper or small")
 		runs     = fs.Int("runs", 0, "stop after this many analysis runs (0 = loop until interrupted)")
 		budget   = fs.Int("budget", 0, "serve: worker-token budget shared by concurrent jobs (0 = max(4, GOMAXPROCS))")
 		maxQueue = fs.Int("max-queue", 0, "serve: queued-job bound before 429 backpressure (0 = 256)")
 		retain   = fs.Int("retain", 0, "serve: completed jobs retained for GET before eviction (0 = 1024)")
 	)
+	an.RegisterScale(fs, "small")
 	an.RegisterSeed(fs)
 	an.RegisterPool(fs)
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +98,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	req := crashresist.Request{
 		Pipeline: pl,
 		Target:   *target,
-		Scale:    *scale,
+		Scale:    an.Scale,
 		Seed:     an.Seed,
 		Workers:  an.Workers,
 	}

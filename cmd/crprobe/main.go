@@ -101,6 +101,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 		window   = fs.Uint64("window", 64, "search window in multiples of the region size")
 		requests = fs.Int("requests", 50, "cherokee: requests per timing batch")
 	)
+	an.RegisterScale(fs, "small")
 	an.RegisterSeed(fs)
 	out.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -123,7 +124,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	var err error
 	switch *target {
 	case "ie", "firefox":
-		err = pr.probeBrowser(*target, *size, *window, an.Seed)
+		err = pr.probeBrowser(*target, an.Scale, *size, *window, an.Seed)
 	case "nginx":
 		err = pr.probeNginx(*size, *window, an.Seed)
 	case "cherokee":
@@ -146,12 +147,12 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func (pr *probeRun) probeBrowser(name string, size, window uint64, seed int64) error {
-	params := crashresist.SmallBrowserParams()
-	var (
-		br  *crashresist.BrowserTarget
-		err error
-	)
+func (pr *probeRun) probeBrowser(name, scale string, size, window uint64, seed int64) error {
+	params, err := crashresist.BrowserParamsForScale(scale)
+	if err != nil {
+		return fmt.Errorf("bad -scale: %w", err)
+	}
+	var br *crashresist.BrowserTarget
 	if name == "ie" {
 		br, err = crashresist.IE(params)
 	} else {

@@ -34,10 +34,8 @@ func main() {
 		an  cliflags.Analysis
 		out cliflags.Output
 	)
-	var (
-		table = flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
-		scale = flag.String("scale", "paper", "corpus scale: paper or small")
-	)
+	table := flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
+	an.RegisterScale(flag.CommandLine, "paper")
 	an.RegisterSeed(flag.CommandLine)
 	an.RegisterPool(flag.CommandLine)
 	an.RegisterChaos(flag.CommandLine)
@@ -46,7 +44,7 @@ func main() {
 
 	cfg := config{
 		table:     *table,
-		scale:     *scale,
+		scale:     an.Scale,
 		format:    out.Format,
 		seed:      an.Seed,
 		workers:   an.Workers,
@@ -135,14 +133,9 @@ type rateDoc struct {
 // whole command behind the flag parsing, so tests can snapshot output
 // byte-for-byte.
 func emit(w io.Writer, cfg config) error {
-	var params crashresist.BrowserParams
-	switch cfg.scale {
-	case "paper":
-		params = crashresist.PaperBrowserParams()
-	case "small":
-		params = crashresist.SmallBrowserParams()
-	default:
-		return fmt.Errorf("%w: unknown -scale %q (want paper or small)", crashresist.ErrBadParams, cfg.scale)
+	params, err := crashresist.BrowserParamsForScale(cfg.scale)
+	if err != nil {
+		return fmt.Errorf("bad -scale: %w", err)
 	}
 
 	switch cfg.table {
@@ -175,6 +168,19 @@ func emit(w io.Writer, cfg config) error {
 		servers, err := crashresist.Servers()
 		if err != nil {
 			return err
+		}
+		// At generated scales Table I fans out over the synthesized fleet
+		// too; small/paper keep the exact five-server goldens.
+		if cfg.scale == crashresist.ScaleLarge || cfg.scale == crashresist.ScaleMega {
+			n, err := crashresist.GenServerCount(cfg.scale)
+			if err != nil {
+				return err
+			}
+			gen, err := crashresist.GenServers(crashresist.DefaultGenSeed, n)
+			if err != nil {
+				return err
+			}
+			servers = append(servers, gen...)
 		}
 		reports, err := crashresist.AnalyzeServers(servers, cfg.seed, opts...)
 		if err != nil {

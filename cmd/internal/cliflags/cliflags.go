@@ -21,11 +21,21 @@ type Analysis struct {
 	ChaosSeed int64
 	CacheDir  string
 	Trace     string
+	Scale     string
 }
 
 // RegisterSeed adds -seed.
 func (a *Analysis) RegisterSeed(fs *flag.FlagSet) {
 	fs.Int64Var(&a.Seed, "seed", 42, "analysis seed (fixes ASLR)")
+}
+
+// RegisterScale adds -scale with the given default. The knob sizes both
+// the browser corpus (small/paper hand-built and golden-pinned;
+// large/mega append seeded generated DLLs, property-checked) and the
+// generated server fleet ("gen", "gen-<i>" targets).
+func (a *Analysis) RegisterScale(fs *flag.FlagSet, def string) {
+	fs.StringVar(&a.Scale, "scale", def,
+		"corpus scale: small, paper, large or mega (large/mega add generated targets at 10-100x paper size)")
 }
 
 // RegisterPool adds -workers and -cache-dir.

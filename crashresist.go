@@ -32,6 +32,7 @@ package crashresist
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -279,6 +280,76 @@ func PaperBrowserParams() BrowserParams { return targets.PaperBrowserParams() }
 
 // SmallBrowserParams returns a quick test scale.
 func SmallBrowserParams() BrowserParams { return targets.SmallBrowserParams() }
+
+// Generated target universe (DESIGN.md §12): seeded deterministic
+// populations behind the -scale knob. Generated corpora have no golden
+// files — their results are property-checked against the generators'
+// declared specs (worker invariance, cache equivalence, conservation,
+// provenance completeness).
+
+// DefaultGenSeed seeds the generated populations used by the large and
+// mega scales and the "gen"/"gen-<i>" targets.
+const DefaultGenSeed = targets.DefaultGenSeed
+
+type (
+	// GenDLLSpec is a generated DLL's declared Tables II/III row.
+	GenDLLSpec = targets.GenDLLSpec
+	// GenServerProfile is a generated server's declared Table I
+	// dispositions.
+	GenServerProfile = targets.GenServerProfile
+)
+
+// LargeBrowserParams returns the paper corpus extended with a 10×
+// generated DLL population (2,057 modules).
+func LargeBrowserParams() BrowserParams { return targets.LargeBrowserParams() }
+
+// MegaBrowserParams returns the paper corpus extended with a 100×
+// generated DLL population (18,887 modules).
+func MegaBrowserParams() BrowserParams { return targets.MegaBrowserParams() }
+
+// BrowserParamsForScale maps a Request.Scale value ("", small, paper,
+// large, mega) to browser corpus params; unknown scales match ErrBadParams.
+func BrowserParamsForScale(scale string) (BrowserParams, error) {
+	switch scale {
+	case "", ScaleSmall:
+		return SmallBrowserParams(), nil
+	case ScalePaper:
+		return PaperBrowserParams(), nil
+	case ScaleLarge:
+		return LargeBrowserParams(), nil
+	case ScaleMega:
+		return MegaBrowserParams(), nil
+	}
+	return BrowserParams{}, fmt.Errorf("%w: unknown scale %q (want small, paper, large or mega)", ErrBadParams, scale)
+}
+
+// GenServerCount returns the generated server fleet size for a scale
+// (the size of the "gen" target); unknown scales match ErrBadParams.
+func GenServerCount(scale string) (int, error) {
+	switch scale {
+	case "", ScaleSmall:
+		return targets.GenServersSmall, nil
+	case ScalePaper:
+		return targets.GenServersPaper, nil
+	case ScaleLarge:
+		return targets.GenServersLarge, nil
+	case ScaleMega:
+		return targets.GenServersMega, nil
+	}
+	return 0, fmt.Errorf("%w: unknown scale %q (want small, paper, large or mega)", ErrBadParams, scale)
+}
+
+// GenServer builds one generated server (index i of the seed's universe).
+func GenServer(seed int64, index int) (*ServerTarget, error) { return targets.GenServer(seed, index) }
+
+// GenServers builds generated servers 0..n-1 in index order.
+func GenServers(seed int64, n int) ([]*ServerTarget, error) { return targets.GenServers(seed, n) }
+
+// GenServerProfiles returns the declared Table I dispositions of
+// generated servers 0..n-1 without building the images.
+func GenServerProfiles(seed int64, n int) []GenServerProfile {
+	return targets.GenServerProfiles(seed, n)
+}
 
 // Option tunes an analysis run. All pipelines are deterministic for a
 // given seed: every option combination yields byte-identical reports.

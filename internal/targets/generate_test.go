@@ -1,0 +1,200 @@
+package targets
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crashresist/internal/bin"
+)
+
+var updateGenDigest = flag.Bool("update", false, "rewrite testdata/gen_seed_digest.txt from the current generators")
+
+// genSeedDigest hashes a fixed-seed generated corpus — every DLL image,
+// every site plan, every server image and profile — into one hex digest.
+// The generators feed the content-addressed analysis cache, so silent
+// drift in their output would invalidate CAS entries without any test
+// noticing; this digest turns drift into an explicit, reviewed event.
+func genSeedDigest(t *testing.T) string {
+	t.Helper()
+	h := sha256.New()
+
+	images, specs, sites, err := GenDLLCorpus(DefaultGenSeed, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range images {
+		data, err := bin.Marshal(img)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", img.Name, err)
+		}
+		fmt.Fprintf(h, "dll %d %s %+v\n", i, img.Name, specs[i])
+		h.Write(data)
+	}
+	for _, s := range sites {
+		fmt.Fprintf(h, "site %s %s %d\n", s.Module, s.Export, s.Scope)
+	}
+
+	profiles := GenServerProfiles(DefaultGenSeed, 8)
+	for i, p := range profiles {
+		srv, err := GenServer(DefaultGenSeed, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := bin.Marshal(srv.Image)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", srv.Name, err)
+		}
+		fmt.Fprintf(h, "server %d %s port=%d %+v\n", i, srv.Name, srv.Port, p)
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGenSeedDigestPinned pins the fixed-seed generator output. On
+// intentional generator changes run
+//
+//	go test ./internal/targets -run TestGenSeedDigestPinned -update
+//
+// and review the new digest alongside the change: committing it is the
+// acknowledgement that every cached analysis of generated targets is
+// invalidated.
+func TestGenSeedDigestPinned(t *testing.T) {
+	got := genSeedDigest(t)
+	path := filepath.Join("testdata", "gen_seed_digest.txt")
+	if *updateGenDigest {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read pinned digest (use -update to create): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("generator output drifted from the pinned seed digest:\n  got  %s\n  want %s\n"+
+			"If intentional, re-pin with -update; note this invalidates CAS entries for generated targets.",
+			got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestGenDLLCorpusDeterministic builds the same corpus twice and checks
+// the images are byte-identical — generation must be a pure function of
+// (seed, index) regardless of scheduling.
+func TestGenDLLCorpusDeterministic(t *testing.T) {
+	a, aspecs, asites, err := GenDLLCorpus(4242, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bspecs, bsites, err := GenDLLCorpus(4242, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ma, _ := bin.Marshal(a[i])
+		mb, _ := bin.Marshal(b[i])
+		if string(ma) != string(mb) {
+			t.Errorf("image %d differs between identical builds", i)
+		}
+		if aspecs[i] != bspecs[i] {
+			t.Errorf("spec %d differs between identical builds", i)
+		}
+	}
+	if len(asites) != len(bsites) {
+		t.Fatalf("site counts differ: %d vs %d", len(asites), len(bsites))
+	}
+	for i := range asites {
+		if asites[i] != bsites[i] {
+			t.Errorf("site %d differs between identical builds", i)
+		}
+	}
+}
+
+// TestGenDLLEmbeddingInvariant checks that a generated DLL's bytes do not
+// depend on the base corpus it is appended to: the standalone corpus and
+// the one embedded by BuildSysDLLs after the hand-built population must
+// produce identical images. This is what keeps CAS entries for generated
+// modules valid across -scale settings.
+func TestGenDLLEmbeddingInvariant(t *testing.T) {
+	const n = 10
+	standalone, specs, _, err := GenDLLCorpus(DefaultGenSeed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := SmallCorpusParams()
+	params.GenSeed = DefaultGenSeed
+	params.GenDLLs = n
+	images, plan, err := BuildSysDLLs(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Gen) != n {
+		t.Fatalf("plan has %d generated specs, want %d", len(plan.Gen), n)
+	}
+	base := len(plan.Specs)
+	for i := 0; i < n; i++ {
+		ms, _ := bin.Marshal(standalone[i])
+		me, _ := bin.Marshal(images[base+i])
+		if string(ms) != string(me) {
+			t.Errorf("generated DLL %d: embedded bytes differ from standalone build", i)
+		}
+		if specs[i] != plan.Gen[i] {
+			t.Errorf("generated DLL %d: embedded spec %+v differs from standalone %+v", i, plan.Gen[i], specs[i])
+		}
+	}
+}
+
+// TestGenServerDeterministic builds the same server twice.
+func TestGenServerDeterministic(t *testing.T) {
+	a, err := GenServer(99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenServer(99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := bin.Marshal(a.Image)
+	mb, _ := bin.Marshal(b.Image)
+	if string(ma) != string(mb) {
+		t.Error("server image differs between identical builds")
+	}
+	if a.Port != b.Port || a.Name != b.Name {
+		t.Errorf("server identity differs: %s:%d vs %s:%d", a.Name, a.Port, b.Name, b.Port)
+	}
+}
+
+// TestParseGenServerRef pins the reference grammar used by request
+// validation and ServerByName.
+func TestParseGenServerRef(t *testing.T) {
+	cases := []struct {
+		name string
+		idx  int
+		ok   bool
+	}{
+		{"gen-0", 0, true},
+		{"gen-59", 59, true},
+		{"gen-", 0, false},
+		{"gen-01", 0, false}, // not canonical: GenServerName(1) == "gen-1"
+		{"gen--1", 0, false},
+		{"gen-x", 0, false},
+		{"gen", 0, false},
+		{"nginx", 0, false},
+	}
+	for _, tc := range cases {
+		idx, ok := ParseGenServerRef(tc.name)
+		if ok != tc.ok || (ok && idx != tc.idx) {
+			t.Errorf("ParseGenServerRef(%q) = (%d, %v), want (%d, %v)", tc.name, idx, ok, tc.idx, tc.ok)
+		}
+	}
+}

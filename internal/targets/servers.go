@@ -27,13 +27,19 @@ func AllServers() ([]*Server, error) {
 // ServerNames lists the Table I server names in column order without
 // building the targets (TestServerNamesMatchBuilders pins the list
 // against AllServers). Request validation uses it to reject unknown
-// targets cheaply.
+// targets cheaply; generated references ("gen-0", "gen-1", …) are not
+// enumerated here — ParseGenServerRef recognizes them and ServerByName
+// builds them on demand.
 func ServerNames() []string {
 	return []string{"nginx", "cherokee", "lighttpd", "memcached", "postgresql"}
 }
 
-// ServerByName builds one server target by its Table I name.
+// ServerByName builds one server target by its Table I name or by a
+// generated-server reference ("gen-<index>", built from DefaultGenSeed).
 func ServerByName(name string) (*Server, error) {
+	if idx, ok := ParseGenServerRef(name); ok {
+		return GenServer(DefaultGenSeed, idx)
+	}
 	all, err := AllServers()
 	if err != nil {
 		return nil, err

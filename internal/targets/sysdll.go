@@ -3,9 +3,6 @@ package targets
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"crashresist/internal/asm"
 	"crashresist/internal/bin"
@@ -83,6 +80,15 @@ type CorpusParams struct {
 	// named DLL — e.g. the JS-API wrapper functions in jscript9. Applied
 	// after the generic population; must not add scope entries.
 	Extend map[string]func(b *asm.Builder)
+
+	// GenDLLs appends that many generated DLLs (generate.go) after the
+	// hand-built population, each derived solely from (GenSeed, index) so
+	// the generated images are byte-identical to a standalone
+	// GenDLLCorpus(GenSeed, GenDLLs) run. Zero (the paper and small
+	// settings) leaves the corpus exactly as before, keeping every golden
+	// table byte-identical.
+	GenSeed int64
+	GenDLLs int
 }
 
 // PaperCorpusParams reproduces the paper's population: 187 DLLs, 6,745
@@ -148,9 +154,14 @@ type SitePlan struct {
 type CorpusPlan struct {
 	Specs []DLLSpec
 	Sites []SitePlan
+	// Gen holds the declared specs of the generated population (empty
+	// unless CorpusParams.GenDLLs > 0). Sites includes the generated
+	// on-path sites after the hand-built ones.
+	Gen []GenDLLSpec
 }
 
-// Totals sums the plan's populations.
+// Totals sums the plan's hand-built populations (generated DLLs are
+// declared in Gen and summed by GenTotals).
 func (p *CorpusPlan) Totals() (handlers, filters, avFilters, avHandlers, onPath int) {
 	for _, s := range p.Specs {
 		handlers += s.Handlers
@@ -162,42 +173,47 @@ func (p *CorpusPlan) Totals() (handlers, filters, avFilters, avHandlers, onPath 
 	return handlers, filters, avFilters, avHandlers, onPath
 }
 
-// BuildSysDLLs generates the corpus images plus the plan. DLLs are
-// assembled in parallel: each gets a private RNG derived from the corpus
-// seed and its index, so the generated bytes are a pure function of
-// (params, index) and independent of scheduling; results land in
-// index-addressed slices and are concatenated in spec order.
+// GenTotals sums the declared generated populations.
+func (p *CorpusPlan) GenTotals() (handlers, filters, avFilters, avHandlers, onPath int) {
+	for _, s := range p.Gen {
+		handlers += s.Handlers
+		filters += s.Filters
+		avFilters += s.AVFilters
+		avHandlers += s.AVHandlers
+		onPath += s.OnPath
+	}
+	return handlers, filters, avFilters, avHandlers, onPath
+}
+
+// BuildSysDLLs generates the corpus images plus the plan: the hand-built
+// population first, then any generated population (CorpusParams.GenDLLs).
+// DLLs are assembled in parallel: each gets a private RNG derived from
+// the relevant seed and its index, so the generated bytes are a pure
+// function of (params, index) and independent of scheduling; results land
+// in index-addressed slices and are concatenated in spec order.
 func BuildSysDLLs(params CorpusParams) ([]*bin.Image, *CorpusPlan, error) {
 	specs, err := expandSpecs(params)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := &CorpusPlan{Specs: specs}
-	images := make([]*bin.Image, len(specs))
-	sites := make([][]SitePlan, len(specs))
-	errs := make([]error, len(specs))
+	if params.GenDLLs < 0 {
+		return nil, nil, fmt.Errorf("corpus: negative GenDLLs %d", params.GenDLLs)
+	}
+	plan := &CorpusPlan{Specs: specs, Gen: make([]GenDLLSpec, params.GenDLLs)}
+	total := len(specs) + params.GenDLLs
+	images := make([]*bin.Image, total)
+	sites := make([][]SitePlan, total)
+	errs := make([]error, total)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(specs) {
-					return
-				}
-				rng := rand.New(rand.NewSource(params.Seed + int64(i)*0x9e3779b9))
-				images[i], sites[i], errs[i] = buildDLL(specs[i], rng, params.Extend[specs[i].Name])
-			}
-		}()
-	}
-	wg.Wait()
+	genParallel(total, func(i int) {
+		if i < len(specs) {
+			rng := rand.New(rand.NewSource(params.Seed + int64(i)*0x9e3779b9))
+			images[i], sites[i], errs[i] = buildDLL(specs[i], rng, params.Extend[specs[i].Name])
+			return
+		}
+		gi := i - len(specs)
+		images[i], plan.Gen[gi], sites[i], errs[i] = buildGenDLL(params.GenSeed, gi)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

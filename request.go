@@ -31,6 +31,17 @@ const (
 	PipelineSEH = "seh"
 )
 
+// Scale selectors for Request.Scale. Small and paper are the hand-built,
+// golden-pinned corpora; large and mega extend them with generated
+// populations (≥10× and ≥100× the paper corpus) whose results are
+// property-checked rather than golden-filed.
+const (
+	ScaleSmall = "small"
+	ScalePaper = "paper"
+	ScaleLarge = "large"
+	ScaleMega  = "mega"
+)
+
 // Request describes one analysis run for Run. The zero value is not
 // runnable — at minimum a target must be named or attached.
 //
@@ -45,11 +56,16 @@ type Request struct {
 	Pipeline string `json:"pipeline,omitempty"`
 	// Target names the analysis subject: one of the Table I servers
 	// (nginx, cherokee, lighttpd, memcached, postgresql), a browser (ie,
-	// firefox), or "all" for every server in parallel (syscall pipeline
-	// only). Ignored when Server, Servers or Browser is attached.
+	// firefox), "all" for every Table I server in parallel, a generated
+	// server ("gen-<i>"), or "gen" for the whole generated fleet at the
+	// request's Scale (syscall pipeline only). Ignored when Server,
+	// Servers or Browser is attached.
 	Target string `json:"target,omitempty"`
-	// Scale sizes a browser corpus: "paper" or "small" (the default).
-	// Server targets ignore it.
+	// Scale sizes the analysis corpus: "small" (the default), "paper",
+	// "large" or "mega". For browsers it selects the DLL corpus
+	// (large/mega append generated populations); for the generated server
+	// targets ("gen", "gen-<i>") it sizes the fleet. The hand-built
+	// Table I servers ignore it.
 	Scale string `json:"scale,omitempty"`
 	// Seed fixes ASLR and every derived RNG; reports are byte-identical
 	// per seed at any worker count.
@@ -226,9 +242,9 @@ func (req Request) Validate() error {
 		return fmt.Errorf("%w: unknown pipeline %q (want syscall, api or seh)", ErrBadParams, req.Pipeline)
 	}
 	switch req.Scale {
-	case "", "small", "paper":
+	case "", ScaleSmall, ScalePaper, ScaleLarge, ScaleMega:
 	default:
-		return fmt.Errorf("%w: unknown scale %q (want paper or small)", ErrBadParams, req.Scale)
+		return fmt.Errorf("%w: unknown scale %q (want small, paper, large or mega)", ErrBadParams, req.Scale)
 	}
 	browser := false
 	switch {
@@ -239,11 +255,17 @@ func (req Request) Validate() error {
 		switch req.Target {
 		case "":
 			return fmt.Errorf("%w: request names no target", ErrBadParams)
-		case "all":
+		case "all", "gen":
 		case "ie", "firefox":
 			browser = true
 		default:
-			if !slices.Contains(targets.ServerNames(), req.Target) {
+			if idx, ok := targets.ParseGenServerRef(req.Target); ok {
+				// Scale is already validated, so the count resolves.
+				if n, _ := GenServerCount(req.Scale); idx >= n {
+					return fmt.Errorf("%w: generated server %q out of range at scale %q (fleet size %d)",
+						ErrBadParams, req.Target, req.Scale, n)
+				}
+			} else if !slices.Contains(targets.ServerNames(), req.Target) {
 				return fmt.Errorf("%w: %q", ErrUnknownServer, req.Target)
 			}
 		}
@@ -259,13 +281,7 @@ func (req Request) Validate() error {
 
 // browserParams resolves the request's Scale.
 func (req Request) browserParams() (BrowserParams, error) {
-	switch req.Scale {
-	case "", "small":
-		return SmallBrowserParams(), nil
-	case "paper":
-		return PaperBrowserParams(), nil
-	}
-	return BrowserParams{}, fmt.Errorf("%w: unknown scale %q (want paper or small)", ErrBadParams, req.Scale)
+	return BrowserParamsForScale(req.Scale)
 }
 
 // Run executes one analysis described by req and returns its result
@@ -284,6 +300,14 @@ func (req Request) browserParams() (BrowserParams, error) {
 // and whether invoked directly or through the service.
 func Run(ctx context.Context, req Request) (*Result, error) {
 	opts := req.options()
+
+	// Scale gates every dispatch path (browser corpus size, generated
+	// fleet size), so reject unknown values before touching any target.
+	switch req.Scale {
+	case "", ScaleSmall, ScalePaper, ScaleLarge, ScaleMega:
+	default:
+		return nil, fmt.Errorf("%w: unknown scale %q (want small, paper, large or mega)", ErrBadParams, req.Scale)
+	}
 
 	// Attachment-mode requests.
 	switch {
@@ -330,6 +354,23 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: "all", Servers: reports}, nil
+	case "gen":
+		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
+			return nil, fmt.Errorf("%w: target \"gen\" runs the syscall pipeline, not %q", ErrBadParams, req.Pipeline)
+		}
+		n, err := GenServerCount(req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		servers, err := GenServers(DefaultGenSeed, n)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := analyzeServersContext(ctx, servers, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: SchemaV1, Pipeline: PipelineSyscall, Target: "gen", Servers: reports}, nil
 	case "ie", "firefox":
 		params, err := req.browserParams()
 		if err != nil {
@@ -348,6 +389,12 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	default:
 		if req.Pipeline != "" && req.Pipeline != PipelineSyscall {
 			return nil, fmt.Errorf("%w: pipeline %q needs a browser target, got %q", ErrBadParams, req.Pipeline, req.Target)
+		}
+		if idx, ok := targets.ParseGenServerRef(req.Target); ok {
+			if n, nerr := GenServerCount(req.Scale); nerr == nil && idx >= n {
+				return nil, fmt.Errorf("%w: generated server %q out of range at scale %q (fleet size %d)",
+					ErrBadParams, req.Target, req.Scale, n)
+			}
 		}
 		srv, err := Server(req.Target)
 		if err != nil {

@@ -13,6 +13,7 @@ cpu: some cpu model
 BenchmarkTableIII-8   	       1	 512345678 ns/op	  736512 trigger-events	      42 candidates
 BenchmarkTableI-8     	       2	 100000000 ns/op
 BenchmarkTableIIIWarmCache-8  	       3	  52345678 ns/op	     186.0 cache-hits
+BenchmarkTableIIIGenLarge-8   	       1	 694874812 ns/op	    1870 gen-modules	  736512 triggers
 PASS
 ok  	crashresist	1.234s
 `
@@ -25,8 +26,8 @@ func TestParseStream(t *testing.T) {
 	if doc.Goos != "linux" || doc.Goarch != "amd64" {
 		t.Errorf("platform = %s/%s", doc.Goos, doc.Goarch)
 	}
-	if len(doc.Results) != 3 {
-		t.Fatalf("results = %d, want 3", len(doc.Results))
+	if len(doc.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(doc.Results))
 	}
 	r := doc.Results[0]
 	if r.Name != "BenchmarkTableIII-8" || r.Package != "crashresist" || r.Iterations != 1 {
@@ -41,6 +42,9 @@ func TestParseStream(t *testing.T) {
 	}
 	if doc.Results[2].Metrics["cache-hits"] != 186 {
 		t.Errorf("result 2 metrics = %v", doc.Results[2].Metrics)
+	}
+	if doc.Results[3].Metrics["gen-modules"] != 1870 || doc.Results[3].Metrics["triggers"] != 736512 {
+		t.Errorf("result 3 metrics = %v", doc.Results[3].Metrics)
 	}
 	// PASS/ok lines land in the log, cpu/blank lines are dropped.
 	if len(doc.Log) != 2 || doc.Log[0] != "PASS" {
