@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci test race fuzz-short chaos scale bench golden-update
+.PHONY: ci test race fuzz-short chaos scale bench bench-gate golden-update
 
 # ci is the full gate run by .github/workflows/ci.yml.
 ci:
@@ -39,13 +39,20 @@ scale:
 	CRASHRESIST_SCALE=large $(GO) test -race -run 'TestScale' -v .
 
 # bench emits benchstat-comparable text (bench.txt — feed two of them to
-# `benchstat old.txt new.txt`) and a machine-readable BENCH_PR5.json via
+# `benchstat old.txt new.txt`) and a machine-readable BENCH_PR9.json via
 # tools/benchjson. BENCH_COUNT > 1 gives benchstat variance to work with.
 BENCH_COUNT ?= 1
 bench:
 	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) ./... | tee bench.txt
-	$(GO) run ./tools/benchjson < bench.txt > BENCH_PR5.json
-	@echo "wrote bench.txt and BENCH_PR5.json"
+	$(GO) run ./tools/benchjson < bench.txt > BENCH_PR9.json
+	@echo "wrote bench.txt and BENCH_PR9.json"
+
+# bench-gate reruns the benchmarks and fails when any ns/op regressed past
+# BENCH_TOLERANCE percent against the committed baseline manifest.
+BENCH_TOLERANCE ?= 200
+bench-gate:
+	$(GO) test -bench=. -benchtime=1x -count=1 ./... | tee bench.txt
+	$(GO) run ./tools/benchjson -compare BENCH_PR9.json -tolerance $(BENCH_TOLERANCE) < bench.txt
 
 golden-update:
 	$(GO) test ./cmd/crtables -run TestGolden -update

@@ -7,9 +7,12 @@
 //	crdiscover -target nginx -format json    # machine-readable report
 //	crdiscover -target ie -metrics           # run stats on stderr
 //	crdiscover -target ie -trace t.json      # Chrome trace-event export
-//	crdiscover -target ie -serve :9090       # live /metrics, /trace.json,
-//	                                         # /debug/vars, /debug/pprof
+//	crdiscover -target ie -serve :9090       # live /metrics, /profile,
+//	                                         # /trace.json, /debug/vars,
+//	                                         # /debug/pprof
 //	crdiscover -target nginx -cache-dir ~/.cache/crashresist
+//	crdiscover -target ie -profile top       # ranked virtual-cost hot spots
+//	crdiscover -target ie -profile folded    # flamegraph.pl input
 package main
 
 import (
@@ -44,25 +47,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		an  cliflags.Analysis
 		out cliflags.Output
+		prf cliflags.Profiling
 	)
 	var (
 		target    = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|all|gen|gen-<i>")
 		pipeline  = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
-		serveAddr = fs.String("serve", "", "serve /metrics, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
+		serveAddr = fs.String("serve", "", "serve /metrics, /profile, /trace.json, /debug/vars and /debug/pprof on this address, and keep serving after the analysis until interrupted")
 	)
 	an.RegisterScale(fs, "small")
 	an.RegisterSeed(fs)
 	an.RegisterPool(fs)
 	an.RegisterChaos(fs)
 	out.Register(fs)
+	prf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := out.Validate(); err != nil {
 		return err
 	}
+	if err := prf.Validate(); err != nil {
+		return err
+	}
 
 	opts := an.Options(stderr, "crdiscover")
+	opts = append(opts, prf.Options()...)
 
 	// Trace export and live serving both ride a metrics registry sink. The
 	// listener binds before the analysis so scrapes work while it runs.
@@ -70,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if an.Trace != "" || *serveAddr != "" {
 		reg = crashresist.NewMetricsRegistry()
 		opts = append(opts, crashresist.WithSink(reg))
+	}
+	if *serveAddr != "" {
+		// Serve the live profile alongside /metrics. With -profile unset
+		// /profile serves an empty document; with it set, scrapes see
+		// charges accumulate while the analysis runs.
+		reg.SetProfile(prf.Profile())
 	}
 	finish := func() error { return finishObservability(stderr, reg, an.Trace, *serveAddr != "") }
 	if *serveAddr != "" {
@@ -95,6 +110,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out.EmitStats(stderr, st)
 	}
 
+	if prf.Enabled() {
+		// The profile replaces the report on stdout, so
+		// `crdiscover -profile=folded | flamegraph.pl` pipes cleanly.
+		if err := prf.Emit(stdout); err != nil {
+			return err
+		}
+		return finish()
+	}
 	if out.JSON() {
 		if err := printJSON(stdout, res.Report()); err != nil {
 			return err

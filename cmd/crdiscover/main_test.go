@@ -116,3 +116,37 @@ func TestCacheDirBrowserPipelines(t *testing.T) {
 		})
 	}
 }
+
+// TestProfileFlag checks -profile replaces the report on stdout with the
+// selected rendering, byte-stable across repeated identical runs.
+func TestProfileFlag(t *testing.T) {
+	folded1, _, err := runString(t, "-target", "ie", "-pipeline", "seh", "-profile", "folded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(folded1, "unique exception filters") {
+		t.Errorf("-profile output still carries the report:\n%.300s", folded1)
+	}
+	if !strings.Contains(folded1, "symex_steps;seh;symex;iexplore;filter:") {
+		t.Errorf("folded output missing symex verdict-class stacks:\n%.300s", folded1)
+	}
+	folded2, _, err := runString(t, "-target", "ie", "-pipeline", "seh", "-profile", "folded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded1 != folded2 {
+		t.Error("identical runs produced different folded profiles")
+	}
+
+	top, _, err := runString(t, "-target", "ie", "-pipeline", "seh", "-profile", "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(top, "== symex_steps: total") {
+		t.Errorf("-profile top missing ranked sections:\n%.300s", top)
+	}
+
+	if _, _, err := runString(t, "-target", "ie", "-profile", "bogus"); err == nil {
+		t.Error("unknown -profile value accepted")
+	}
+}

@@ -7,6 +7,7 @@
 //	crmon -addr :9090 -target ie -pipeline seh -runs 3
 //	crmon -addr :9090 -serve                     # discovery-as-a-service
 //	curl localhost:9090/metrics                  # Prometheus text format
+//	curl localhost:9090/profile                  # exact virtual-cost profile
 //	curl localhost:9090/trace.json               # Chrome trace-event JSON
 //	curl localhost:9090/debug/vars               # expvar
 //	curl localhost:9090/debug/pprof/             # runtime profiles
@@ -55,7 +56,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	fs := flag.NewFlagSet("crmon", flag.ContinueOnError)
 	var an cliflags.Analysis
 	var (
-		addr     = fs.String("addr", ":9090", "listen address for /metrics, /trace.json, /debug/vars, /debug/pprof")
+		addr     = fs.String("addr", ":9090", "listen address for /metrics, /profile, /trace.json, /debug/vars, /debug/pprof")
 		serve    = fs.Bool("serve", false, "serve the multi-tenant job API (POST /v1/jobs) instead of looping one pipeline")
 		target   = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|gen-<i>")
 		pipeline = fs.String("pipeline", "", "syscall|api|seh (default: syscall for servers, seh for browsers)")
@@ -109,6 +110,10 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		req.Cache = cache
 	}
 	req.Sinks = append(req.Sinks, reg)
+	// The monitor profiles every run into one cumulative profile served at
+	// /profile — profiling never changes report contents, so it is always on.
+	req.Profile = crashresist.NewProfile()
+	reg.SetProfile(req.Profile)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -8,6 +8,7 @@
 //	crprobe -target cherokee -requests 100   # timing side channel
 //	crprobe -target nginx -format json       # machine-readable result
 //	crprobe -target ie -metrics              # run stats on stderr
+//	crprobe -target ie -profile top          # boot/scan virtual-cost split
 package main
 
 import (
@@ -64,9 +65,16 @@ type probeDoc struct {
 // probeRun carries one invocation's narrative stream, result document and
 // metrics collector through the probe helpers.
 type probeRun struct {
-	w   io.Writer // narrative output; io.Discard under -format=json
-	doc probeDoc
-	col *metrics.Collector
+	w    io.Writer // narrative output; io.Discard under -format=json
+	doc  probeDoc
+	col  *metrics.Collector
+	prof *crashresist.Profile // nil unless -profile is set
+
+	// boot marks the target's counters at the moment probing began, so
+	// the profiler can split the long-lived process's exact costs into a
+	// boot phase and a scan phase (vm.Stats.Minus).
+	boot      vm.Stats
+	bootClock uint64
 }
 
 // harvest folds a probed process's VM counters into the run collector.
@@ -79,6 +87,36 @@ func (pr *probeRun) harvest(p *vm.Process) {
 	pr.col.Add(metrics.CtrFaultsInjected, st.FaultsInjected)
 	pr.col.Add(metrics.CtrSyscalls, st.Syscalls)
 	pr.col.Add(metrics.CtrAPICalls, st.APICalls)
+	pr.profilePhases(p)
+}
+
+// markBoot records the boundary between the target's boot and the scan.
+func (pr *probeRun) markBoot(p *vm.Process) {
+	pr.boot = p.Stats
+	pr.bootClock = p.Clock
+}
+
+// profilePhases charges the probed process's exact costs to the probe
+// pipeline: everything up to markBoot under the boot stage, the rest under
+// the scan stage, with the oracle (when one was built) as the scan unit.
+func (pr *probeRun) profilePhases(p *vm.Process) {
+	if pr.prof == nil {
+		return
+	}
+	unit := pr.doc.Oracle
+	if unit == "" {
+		unit = "env"
+	}
+	add := func(stage, unit string, k crashresist.ProfileKind, n uint64) {
+		pr.prof.Add(crashresist.ProfileStack{
+			Pipeline: "probe", Stage: stage, Target: pr.doc.Target, Unit: unit,
+		}, k, n)
+	}
+	add("boot", "env", crashresist.ProfVMInstructions, pr.boot.Instructions)
+	add("boot", "env", crashresist.ProfClockTicks, pr.bootClock)
+	scan := p.Stats.Minus(pr.boot)
+	add("scan", unit, crashresist.ProfVMInstructions, scan.Instructions)
+	add("scan", unit, crashresist.ProfClockTicks, p.Clock-pr.bootClock)
 }
 
 // run is the whole command behind argument parsing, returning an error
@@ -94,6 +132,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	var (
 		an  cliflags.Analysis
 		out cliflags.Output
+		prf cliflags.Profiling
 	)
 	var (
 		target   = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
@@ -104,6 +143,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	an.RegisterScale(fs, "small")
 	an.RegisterSeed(fs)
 	out.Register(fs)
+	prf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -113,8 +153,15 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	if err := out.Validate(); err != nil {
 		return err
 	}
+	if err := prf.Validate(); err != nil {
+		return err
+	}
 
-	pr := &probeRun{w: stdout, col: metrics.NewCollector("probe", *target, 1)}
+	pr := &probeRun{w: stdout, col: metrics.NewCollector("probe", *target, 1), prof: prf.Profile()}
+	if prf.Enabled() {
+		// The profile replaces the narrative/result on stdout.
+		pr.w = io.Discard
+	}
 	if out.JSON() {
 		pr.w = io.Discard
 	}
@@ -138,6 +185,10 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 
 	stats := pr.col.Snapshot()
 	out.EmitStats(stderr, stats)
+	if prf.Enabled() {
+		// The profile replaces the narrative/result on stdout.
+		return prf.Emit(stdout)
+	}
 	if out.JSON() {
 		pr.doc.Stats = stats
 		enc := json.NewEncoder(stdout)
@@ -168,6 +219,7 @@ func (pr *probeRun) probeBrowser(name, scale string, size, window uint64, seed i
 	if err := env.Start(); err != nil {
 		return err
 	}
+	pr.markBoot(env.Proc)
 	defer pr.harvest(env.Proc)
 	hidden, err := crashresist.PlantHiddenRegion(env.Proc, size)
 	if err != nil {
@@ -196,6 +248,7 @@ func (pr *probeRun) probeNginx(size, window uint64, seed int64) error {
 	if err != nil {
 		return err
 	}
+	pr.markBoot(env.Proc)
 	defer pr.harvest(env.Proc)
 	hidden, err := crashresist.PlantHiddenRegion(env.Proc, size)
 	if err != nil {
@@ -221,6 +274,7 @@ func (pr *probeRun) probeCherokee(requests int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	pr.markBoot(env.Proc)
 	defer pr.harvest(env.Proc)
 	o, err := crashresist.NewCherokeeOracle(env, requests)
 	if err != nil {

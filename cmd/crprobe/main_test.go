@@ -118,3 +118,28 @@ func TestMetricsFlag(t *testing.T) {
 		t.Errorf("stdout narrative missing:\n%s", stdout.String())
 	}
 }
+
+// TestProfileFlag checks -profile replaces the narrative with the probe
+// pipeline's boot/scan cost split.
+func TestProfileFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := runTo([]string{"-target", "nginx", "-profile", "folded"}, &stdout, &stderr); err != nil {
+		t.Fatalf("runTo: %v", err)
+	}
+	out := stdout.String()
+	if strings.Contains(out, "information hiding bypassed") {
+		t.Errorf("-profile output still carries the narrative:\n%s", out)
+	}
+	for _, want := range []string{
+		"vm_instructions;probe;boot;nginx;env ",
+		"vm_instructions;probe;scan;nginx;",
+		"clock_ticks;probe;scan;nginx;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded profile missing %q:\n%s", want, out)
+		}
+	}
+	if err := runTo([]string{"-target", "nginx", "-profile", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown -profile value accepted")
+	}
+}

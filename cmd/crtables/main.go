@@ -33,6 +33,7 @@ func main() {
 	var (
 		an  cliflags.Analysis
 		out cliflags.Output
+		prf cliflags.Profiling
 	)
 	table := flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
 	an.RegisterScale(flag.CommandLine, "paper")
@@ -40,15 +41,18 @@ func main() {
 	an.RegisterPool(flag.CommandLine)
 	an.RegisterChaos(flag.CommandLine)
 	out.Register(flag.CommandLine)
+	prf.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := config{
-		table:     *table,
-		scale:     an.Scale,
-		format:    out.Format,
-		seed:      an.Seed,
-		workers:   an.Workers,
-		chaosSeed: an.ChaosSeed,
+		table:       *table,
+		scale:       an.Scale,
+		format:      out.Format,
+		seed:        an.Seed,
+		workers:     an.Workers,
+		chaosSeed:   an.ChaosSeed,
+		profile:     prf.Profile(),
+		profileMode: prf.Mode,
 	}
 	if out.Metrics {
 		cfg.metricsW = os.Stderr
@@ -91,6 +95,14 @@ type config struct {
 	// invocations. A missing or broken cache only costs recomputation;
 	// it never changes the artifact bytes.
 	cache *crashresist.AnalysisCache
+	// profile, when non-nil, receives every run's exact virtual costs.
+	// Attaching a profile never touches the artifact writer — the golden
+	// tests pin that tables render byte-identically with profiling on.
+	profile *crashresist.Profile
+	// profileMode, when non-empty (top, folded or json), writes the
+	// accumulated profile to the artifact writer INSTEAD of the tables,
+	// so `crtables -profile=folded | flamegraph.pl` pipes cleanly.
+	profileMode string
 }
 
 // openCacheOrWarn opens the persistent analysis cache at dir. An empty dir
@@ -150,6 +162,15 @@ func emit(w io.Writer, cfg config) error {
 		return fmt.Errorf("%w: unknown -format %q (want text or json)", crashresist.ErrBadParams, cfg.format)
 	}
 
+	switch cfg.profileMode {
+	case "", "top", "folded", "json":
+	default:
+		return fmt.Errorf("%w: unknown -profile %q (want top, folded or json)", crashresist.ErrBadParams, cfg.profileMode)
+	}
+	if cfg.profileMode != "" && cfg.profile == nil {
+		cfg.profile = crashresist.NewProfile()
+	}
+
 	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
 	opts := []crashresist.Option{crashresist.WithWorkers(cfg.workers)}
 	if cfg.cache != nil {
@@ -159,6 +180,9 @@ func emit(w io.Writer, cfg config) error {
 		opts = append(opts,
 			crashresist.WithFaultPlan(crashresist.DefaultFaultPlan(cfg.chaosSeed)),
 			crashresist.WithRetry(2))
+	}
+	if cfg.profile != nil {
+		opts = append(opts, crashresist.WithProfile(cfg.profile))
 	}
 
 	doc := document{Schema: crashresist.SchemaV1}
@@ -254,12 +278,30 @@ func emit(w io.Writer, cfg config) error {
 		}
 	}
 
+	if cfg.profileMode != "" {
+		// The profile replaces the artifact on stdout; the tables were
+		// still computed in full, so the profile covers every run above.
+		return writeProfile(w, cfg.profile, cfg.profileMode)
+	}
 	if cfg.format == "json" {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&doc)
 	}
 	return renderText(w, &doc, cfg.table)
+}
+
+// writeProfile renders the accumulated cost profile in the selected mode.
+func writeProfile(w io.Writer, p *crashresist.Profile, mode string) error {
+	snap := p.Snapshot()
+	switch mode {
+	case "top":
+		return snap.WriteTop(w, 0)
+	case "folded":
+		return snap.WriteFolded(w)
+	default:
+		return snap.WriteJSON(w)
+	}
 }
 
 // renderText writes the classic table output, byte-identical to the

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race. The race detector multiplies paper-scale runs ~10×, so the
+// heaviest sweeps shrink their table scope under it; the full matrix
+// runs in the regular suite and in the CI profiling job.
+const raceDetectorEnabled = true

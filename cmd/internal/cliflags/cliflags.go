@@ -81,6 +81,70 @@ func (a *Analysis) Options(stderr io.Writer, tool string) []crashresist.Option {
 	return opts
 }
 
+// Profiling groups the exact-cost-profiler flags shared by the analysis
+// CLIs. The zero value (no -profile) disables profiling entirely.
+type Profiling struct {
+	Mode string
+	p    *crashresist.Profile
+}
+
+// Register adds -profile.
+func (p *Profiling) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Mode, "profile", "",
+		"write the run's exact virtual-cost profile to stdout instead of the report: top (ranked hot spots), folded (flamegraph.pl input) or json")
+}
+
+// Validate rejects unknown -profile values.
+func (p *Profiling) Validate() error {
+	switch p.Mode {
+	case "", "top", "folded", "json":
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown -profile %q (want top, folded or json)", crashresist.ErrBadParams, p.Mode)
+	}
+}
+
+// Enabled reports whether -profile was given.
+func (p *Profiling) Enabled() bool { return p.Mode != "" }
+
+// Profile returns the live profile the run should charge into, creating
+// it on first use; nil when profiling is off.
+func (p *Profiling) Profile() *crashresist.Profile {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.p == nil {
+		p.p = crashresist.NewProfile()
+	}
+	return p.p
+}
+
+// Options returns the option list attaching the profile; empty when off.
+func (p *Profiling) Options() []crashresist.Option {
+	if !p.Enabled() {
+		return nil
+	}
+	return []crashresist.Option{crashresist.WithProfile(p.Profile())}
+}
+
+// Emit writes the accumulated profile to w in the selected mode. A no-op
+// when profiling is off.
+func (p *Profiling) Emit(w io.Writer) error {
+	if !p.Enabled() {
+		return nil
+	}
+	snap := p.Profile().Snapshot()
+	switch p.Mode {
+	case "top":
+		return snap.WriteTop(w, 0)
+	case "folded":
+		return snap.WriteFolded(w)
+	case "json":
+		return snap.WriteJSON(w)
+	}
+	return nil
+}
+
 // Output groups the report-rendering flags.
 type Output struct {
 	Format  string

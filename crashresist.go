@@ -43,6 +43,7 @@ import (
 	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
 	"crashresist/internal/oracle"
+	"crashresist/internal/prof"
 	"crashresist/internal/targets"
 	"crashresist/internal/trace"
 	"crashresist/internal/vm"
@@ -163,6 +164,39 @@ type (
 	// EvidenceStep is one link of a provenance chain.
 	EvidenceStep = discover.EvidenceStep
 )
+
+// Cost profiling (see DESIGN.md §13): an exact, deterministic profiler
+// attributing the pipelines' virtual costs (symex steps, VM instructions,
+// clock ticks, cache bytes, retries, backoff ticks) to semantic stacks
+// pipeline → stage → target → unit. For a fixed request the profile is
+// byte-identical at any worker count and with any cache state.
+type (
+	// Profile accumulates exact virtual-cost samples across one or more
+	// runs. Attach one with WithProfile; read it with Snapshot.
+	Profile = prof.Profile
+	// ProfileSnapshot is a profile's immutable, deterministically ordered
+	// export, rendering as folded stacks (flamegraph.pl), a ranked top-N
+	// report, or JSON.
+	ProfileSnapshot = prof.Snapshot
+	// ProfileStack is one sample's semantic attribution path.
+	ProfileStack = prof.Stack
+	// ProfileKind is one of the virtual cost dimensions (ProfSymexSteps,
+	// ProfVMInstructions, ...).
+	ProfileKind = prof.Kind
+)
+
+// Profile cost kinds.
+const (
+	ProfSymexSteps     = prof.KindSymexSteps
+	ProfVMInstructions = prof.KindVMInstructions
+	ProfClockTicks     = prof.KindClockTicks
+	ProfRetries        = prof.KindRetries
+	ProfBackoffTicks   = prof.KindBackoffTicks
+	ProfCacheBytes     = prof.KindCacheBytes
+)
+
+// NewProfile returns an empty cost profile.
+func NewProfile() *Profile { return prof.New() }
 
 // Run counters, usable with RunStats.Counter.
 const (
@@ -365,6 +399,7 @@ type options struct {
 	retries      int
 	stageTimeout time.Duration
 	cache        *AnalysisCache
+	profile      *Profile
 }
 
 // AnalysisCache is a persistent, content-addressed store for analysis
@@ -425,6 +460,16 @@ func WithSink(s MetricSink) Option {
 	return func(o *options) { o.sinks = append(o.sinks, s) }
 }
 
+// WithProfile attaches an exact cost profiler to the run. Every pipeline
+// charges its deterministic virtual costs to p's semantic stacks; one
+// profile may span several runs (charges accumulate). Profiling never
+// changes report contents — like metrics, costs live outside the report
+// bytes — and for a fixed request the accumulated profile is identical at
+// any worker count and with any cache state.
+func WithProfile(p *Profile) Option {
+	return func(o *options) { o.profile = p }
+}
+
 // WithFaultPlan attaches a deterministic fault injection plan to the run
 // (chaos mode). Injected failures ride the normal error paths; combined
 // with WithRetry the pipelines degrade gracefully, recording dropped jobs
@@ -473,7 +518,7 @@ func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
 	return &discover.SyscallAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache,
+		Cache: o.cache, Profile: o.profile,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"crashresist/internal/fuzz"
 	"crashresist/internal/isa"
 	"crashresist/internal/metrics"
+	"crashresist/internal/prof"
 	"crashresist/internal/taint"
 	"crashresist/internal/targets"
 	"crashresist/internal/trace"
@@ -162,6 +163,10 @@ type APIAnalyzer struct {
 	// while a FaultPlan is attached: chaos runs must neither read nor
 	// write entries shared with clean runs.
 	Cache *cas.Cache
+	// Profile, when non-nil, receives the run's deterministic cost
+	// attribution (see internal/prof). Profiling never touches report
+	// contents.
+	Profile *prof.Profile
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
@@ -183,8 +188,9 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		invalid = InvalidProbeAddr
 	}
 	col := newRunCollector("api", br.Name, a.Workers, a.Progress, a.Sinks)
-	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
-	rc := runCache{col: col}
+	rp := newRunProf(a.Profile, "api", br.Name)
+	res := newResilience(br.Name, a.FaultPlan, a.Retries, col, rp)
+	rc := runCache{col: col, rp: rp}
 	if a.FaultPlan == nil {
 		rc.c = a.Cache
 	}
@@ -228,10 +234,11 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 				key = fuzzDescKey(apiParams, a.Seed, ptrAPIs[i])
 				haveKey = true
 				var ent apiFuzzEntry
-				if rc.get(casFamilyFuzz, key, &ent) {
+				if rc.get(casFamilyFuzz, key, &ent, "fuzz", ptrAPIs[i].Name) {
 					col.Add(metrics.CtrProbes, uint64(len(ent.Probes)))
 					harvestVMStats(col, ent.Stats)
 					span.Observe(ent.Stats.Instructions)
+					profileFuzz(rp, ptrAPIs[i].Name, ent)
 					results[i] = ent
 					return nil
 				}
@@ -241,13 +248,14 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 				return fmt.Errorf("fuzz %s: %w", ptrAPIs[i].Name, err)
 			}
 			if haveKey {
-				rc.put(casFamilyFuzz, key, fres)
+				rc.put(casFamilyFuzz, key, fres, "fuzz", ptrAPIs[i].Name)
 			}
 			col.Add(metrics.CtrProbes, uint64(len(fres.Probes)))
 			harvestVMStats(col, fres.Stats)
 			// The harness processes' summed instruction count is the
 			// job's deterministic cost.
 			span.Observe(fres.Stats.Instructions)
+			profileFuzz(rp, ptrAPIs[i].Name, fres)
 			results[i] = fres
 			return nil
 		})
@@ -285,7 +293,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	span = col.StartStage("harvest", 0)
 	var obs *browseObservation
 	err = res.run(ctx, "harvest", br.Name, 0, func(int) error {
-		o, err := a.observeBrowse(br, col, span)
+		o, err := a.observeBrowse(br, col, span, rp)
 		if err != nil {
 			return err
 		}
@@ -334,11 +342,12 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 					key = classifyKey(digest, a.Seed, invalid, api, obs.args[api])
 					haveKey = true
 					var ent classifyEntry
-					if rc.get(casFamilyClassify, key, &ent) {
+					if rc.get(casFamilyClassify, key, &ent, "classify", api) {
 						span.Observe(ent.Cost.Clock)
 						if ent.Cost.HasEnv {
 							harvestVMStats(col, ent.Cost.Stats)
 						}
+						profileClassify(rp, api, ent.Cost)
 						classifications[i] = ent.Cls
 						return nil
 					}
@@ -354,8 +363,9 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			if cost.HasEnv {
 				harvestVMStats(col, cost.Stats)
 			}
+			profileClassify(rp, api, cost)
 			if haveKey {
-				rc.put(casFamilyClassify, key, classifyEntry{Cls: cls, Cost: cost})
+				rc.put(casFamilyClassify, key, classifyEntry{Cls: cls, Cost: cost}, "classify", api)
 			}
 			classifications[i] = cls
 			return nil
@@ -469,8 +479,27 @@ func (a *apiArgTracer) stackInJS(t *vm.Thread) bool {
 	return false
 }
 
+// profileFuzz charges one API's fuzzing battery, one sub-frame per probe
+// pointer so flamegraphs break an API's cost down by battery entry.
+// Per-probe instruction counts are persisted in the cache entry, so cold
+// computes and warm replays charge identical stacks.
+func profileFuzz(rp runProf, api string, res fuzz.FuncResult) {
+	for _, pr := range res.Probes {
+		rp.addSub("fuzz", api, fmt.Sprintf("ptr:%#x", pr.Pointer), prof.KindVMInstructions, pr.Instructions)
+	}
+}
+
+// profileClassify charges one classification job's replay cost, identically
+// for cold computes and warm cache replays (the entry persists the cost).
+func profileClassify(rp runProf, api string, cost classifyCost) {
+	rp.add("classify", api, prof.KindClockTicks, cost.Clock)
+	if cost.HasEnv {
+		rp.add("classify", api, prof.KindVMInstructions, cost.Stats.Instructions)
+	}
+}
+
 // observeBrowse runs one instrumented browse.
-func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector, span *metrics.Stage) (*browseObservation, error) {
+func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector, span *metrics.Stage, rp runProf) (*browseObservation, error) {
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
 		return nil, err
@@ -498,6 +527,8 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector,
 	browseErr := env.Browse()
 	span.Observe(env.Proc.Clock)
 	harvestVMStats(col, env.Proc.Stats)
+	rp.add("harvest", "browse", prof.KindClockTicks, env.Proc.Clock)
+	rp.add("harvest", "browse", prof.KindVMInstructions, env.Proc.Stats.Instructions)
 	if browseErr != nil {
 		return nil, browseErr
 	}

@@ -38,6 +38,7 @@ import (
 	"crashresist/internal/fuzz"
 	"crashresist/internal/kernel"
 	"crashresist/internal/metrics"
+	"crashresist/internal/prof"
 	"crashresist/internal/sym"
 	"crashresist/internal/vm"
 	"crashresist/internal/winapi"
@@ -51,16 +52,21 @@ const (
 	casFamilyValidate = "syscall-validate"
 )
 
-// runCache binds an optional persistent cache to one run's collector,
-// mirroring every lookup into the run's cache_* counters. The zero value
-// (nil cache) is a valid always-miss cache that counts nothing.
+// runCache binds an optional persistent cache to one run's collector and
+// profile, mirroring every lookup into the run's cache_* counters and
+// charging entry byte traffic to the unit that owns the entry. The zero
+// value (nil cache) is a valid always-miss cache that counts nothing.
 type runCache struct {
 	c   *cas.Cache
 	col *metrics.Collector
+	rp  runProf
 }
 
-// get is Cache.Get plus per-run counter accounting.
-func (r runCache) get(family string, key cas.Key, out any) bool {
+// get is Cache.Get plus per-run counter and profile accounting; stage and
+// unit attribute the transferred bytes. An entry read on a warm hit has
+// the same encoded size as the cold run's store of it, so per-unit cache
+// byte charges agree between cold and warm runs.
+func (r runCache) get(family string, key cas.Key, out any, stage, unit string) bool {
 	if r.c == nil {
 		return false
 	}
@@ -68,6 +74,7 @@ func (r runCache) get(family string, key cas.Key, out any) bool {
 	if res.Hit {
 		r.col.Add(metrics.CtrCacheHits, 1)
 		r.col.Add(metrics.CtrCacheBytes, res.Bytes)
+		r.rp.add(stage, unit, prof.KindCacheBytes, res.Bytes)
 	} else {
 		r.col.Add(metrics.CtrCacheMisses, 1)
 	}
@@ -77,22 +84,26 @@ func (r runCache) get(family string, key cas.Key, out any) bool {
 	return res.Hit
 }
 
-// put is Cache.Put plus per-run counter accounting.
-func (r runCache) put(family string, key cas.Key, v any) {
+// put is Cache.Put plus per-run counter and profile accounting.
+func (r runCache) put(family string, key cas.Key, v any, stage, unit string) {
 	if r.c == nil {
 		return
 	}
 	if res := r.c.Put(family, key, v); res.Stored {
 		r.col.Add(metrics.CtrCacheBytes, res.Bytes)
+		r.rp.add(stage, unit, prof.KindCacheBytes, res.Bytes)
 	}
 }
 
 // sehSymexEntry is the persisted form of one module's filter classification.
+// ClassSteps carries the per-filter-class step breakdown the cost profiler
+// attributes, so warm hits charge identical stacks to the cold compute.
 type sehSymexEntry struct {
 	Verdicts       map[uint32]sym.Verdict `json:"verdicts,omitempty"`
 	AVFilters      int                    `json:"av_filters,omitempty"`
 	UnknownFilters int                    `json:"unknown_filters,omitempty"`
 	Steps          uint64                 `json:"steps,omitempty"`
+	ClassSteps     map[string]uint64      `json:"class_steps,omitempty"`
 }
 
 // result rehydrates the in-memory stage result. A replayed module counts as
@@ -107,6 +118,7 @@ func (e sehSymexEntry) result() sehSymexResult {
 		avFilters:      e.AVFilters,
 		unknownFilters: e.UnknownFilters,
 		steps:          e.Steps,
+		classSteps:     e.ClassSteps,
 		pure:           true,
 	}
 }
@@ -118,25 +130,30 @@ func sehEntryOf(sx sehSymexResult) sehSymexEntry {
 		AVFilters:      sx.avFilters,
 		UnknownFilters: sx.unknownFilters,
 		Steps:          sx.steps,
+		ClassSteps:     sx.classSteps,
 	}
 }
 
 // sehModuleKey keys a module's symex results by its full marshaled image —
 // code, data, symbols, scope tables — so any changed byte re-analyzes
-// exactly that DLL.
+// exactly that DLL. v2 entries add the per-class step breakdown; bumping
+// the schema string retires v1 entries (which lack it) by key mismatch
+// rather than by a decode-time migration.
 func sehModuleKey(img *bin.Image) (cas.Key, bool) {
 	data, err := bin.Marshal(img)
 	if err != nil {
 		return cas.Key{}, false
 	}
-	return cas.NewHasher("seh-symex/v1").Bytes(data).Key(), true
+	return cas.NewHasher("seh-symex/v2").Bytes(data).Key(), true
 }
 
 // fuzzDescKey keys one descriptor's fuzzing battery. The corpus parameters
 // pin the registry the harness resolves against; the descriptor fields pin
-// the function's full calling contract.
+// the function's full calling contract. v2 entries add per-probe
+// instruction counts; the schema bump retires v1 entries (which lack
+// them) by key mismatch.
 func fuzzDescKey(apiParams []byte, seed int64, d *winapi.Descriptor) cas.Key {
-	h := cas.NewHasher("api-fuzz/v1").
+	h := cas.NewHasher("api-fuzz/v2").
 		Bytes(apiParams).
 		Int64(seed).
 		String(d.Name).
@@ -195,9 +212,11 @@ type validateEntry struct {
 
 // validateKey keys one candidate's corrupted-suite replay by the server's
 // marshaled image, the run seed, the corruption value and the candidate's
-// identity (syscall, argument, provenance address, taint, count).
+// identity (syscall, argument, provenance address, taint, count). v2
+// entries add the kernel's fault-event bucket series to the stored cost;
+// the schema bump retires v1 entries (which lack it) by key mismatch.
 func validateKey(srvImage []byte, name string, seed int64, invalid uint64, cand Candidate) cas.Key {
-	return cas.NewHasher("syscall-validate/v1").
+	return cas.NewHasher("syscall-validate/v2").
 		String(name).
 		Bytes(srvImage).
 		Int64(seed).

@@ -27,6 +27,7 @@ import (
 
 	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
+	"crashresist/internal/prof"
 )
 
 // ErrDegraded marks a pipeline result that is partial because one or more
@@ -57,6 +58,7 @@ type resilience struct {
 	plan    *faultinject.Plan
 	retries int
 	col     *metrics.Collector
+	rp      runProf
 
 	mu    sync.Mutex
 	order map[string]int // stage name -> first-seen ordinal
@@ -70,11 +72,11 @@ type degradedRec struct {
 
 // newResilience returns nil when neither a plan nor a retry budget is
 // configured, keeping the default path allocation- and branch-free.
-func newResilience(target string, plan *faultinject.Plan, retries int, col *metrics.Collector) *resilience {
+func newResilience(target string, plan *faultinject.Plan, retries int, col *metrics.Collector, rp runProf) *resilience {
 	if plan == nil && retries <= 0 {
 		return nil
 	}
-	return &resilience{target: target, plan: plan, retries: retries, col: col}
+	return &resilience{target: target, plan: plan, retries: retries, col: col, rp: rp}
 }
 
 // run executes one job with injection, bounded retry and degradation. The
@@ -112,6 +114,10 @@ func (r *resilience) run(ctx context.Context, stage, jobKey string, job int, fn 
 		if attempt < r.retries && faultinject.IsTransient(err) {
 			r.col.Add(metrics.CtrRetries, 1)
 			r.col.Add(metrics.CtrBackoffTicks, uint64(1)<<attempt)
+			// Retry decisions are a stateless hash of (seed, site, key,
+			// attempt), so these charges are scheduling-independent too.
+			r.rp.add(stage, jobKey, prof.KindRetries, 1)
+			r.rp.add(stage, jobKey, prof.KindBackoffTicks, uint64(1)<<attempt)
 			continue
 		}
 		break

@@ -35,10 +35,12 @@ func harvestVMStats(col *metrics.Collector, s vm.Stats) {
 	col.Add(metrics.CtrFaultsInjected, s.FaultsInjected)
 }
 
-// harvestKernelCounts mirrors a kernel model's dispatch counters.
+// harvestKernelCounts mirrors a kernel model's dispatch counters,
+// including the per-process fault-event time series.
 func harvestKernelCounts(col *metrics.Collector, c kernel.Counts) {
 	col.Add(metrics.CtrEFAULTReturns, c.EFAULTReturns)
 	col.Add(metrics.CtrFaultsInjected, c.Injected)
+	col.AddFaultEvents(c.EFAULTBuckets)
 }
 
 // harvestCacheStats mirrors the symex cache counters.

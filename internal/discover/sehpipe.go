@@ -10,6 +10,7 @@ import (
 	"crashresist/internal/cas"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
+	"crashresist/internal/prof"
 	"crashresist/internal/seh"
 	"crashresist/internal/sym"
 	"crashresist/internal/targets"
@@ -115,6 +116,10 @@ type SEHAnalyzer struct {
 	// FaultPlan is attached: chaos runs must neither read nor write
 	// entries shared with clean runs.
 	Cache *cas.Cache
+	// Profile, when non-nil, receives the run's deterministic cost
+	// attribution (see internal/prof). Profiling never touches report
+	// contents.
+	Profile *prof.Profile
 
 	// CacheStats holds the symex cache counters of the last Analyze call.
 	CacheStats sym.CacheStats
@@ -131,6 +136,11 @@ type sehSymexResult struct {
 	// Reports including their Steps, so the sum is identical no matter
 	// which worker paid for the cache miss.
 	steps uint64
+	// classSteps breaks steps down by filter class (see filterClass) for
+	// cost attribution: the corpus spreads its thousands of filters evenly
+	// across modules, so the class axis — not the module axis — is where a
+	// hot spot can show.
+	classSteps map[string]uint64
 	// pure reports that every filter analysis in the module was pure —
 	// the license for persisting the result beyond the process.
 	pure bool
@@ -151,8 +161,9 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 // any worker count.
 func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*SEHReport, error) {
 	col := newRunCollector("seh", br.Name, a.Workers, a.Progress, a.Sinks)
-	res := newResilience(br.Name, a.FaultPlan, a.Retries, col)
-	rc := runCache{col: col}
+	rp := newRunProf(a.Profile, "seh", br.Name)
+	res := newResilience(br.Name, a.FaultPlan, a.Retries, col, rp)
+	rc := runCache{col: col, rp: rp}
 	if a.FaultPlan == nil {
 		rc.c = a.Cache
 	}
@@ -185,6 +196,8 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		browseErr := e.Browse()
 		span.Observe(e.Proc.Clock)
 		harvestVMStats(col, e.Proc.Stats)
+		rp.add("browse", "browse", prof.KindClockTicks, e.Proc.Clock)
+		rp.add("browse", "browse", prof.KindVMInstructions, e.Proc.Stats.Instructions)
 		if browseErr != nil {
 			return browseErr
 		}
@@ -274,9 +287,10 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 				if rc.c != nil {
 					key, haveKey = sehModuleKey(mod.Image)
 					var ent sehSymexEntry
-					if haveKey && rc.get(casFamilySEH, key, &ent) {
+					if haveKey && rc.get(casFamilySEH, key, &ent, "symex", libs[i]) {
 						sx := ent.result()
 						span.Observe(sx.steps)
+						profileSymex(rp, libs[i], sx)
 						symex[i] = sx
 						symexOK[i] = true
 						return nil
@@ -287,9 +301,10 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 					return err
 				}
 				if haveKey && sx.pure {
-					rc.put(casFamilySEH, key, sehEntryOf(sx))
+					rc.put(casFamilySEH, key, sehEntryOf(sx), "symex", libs[i])
 				}
 				span.Observe(sx.steps)
+				profileSymex(rp, libs[i], sx)
 				symex[i] = sx
 				symexOK[i] = true
 				return nil
@@ -394,6 +409,9 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 // module so the whole unit can retry or degrade atomically.
 func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleInventory) (sehSymexResult, error) {
 	res := sehSymexResult{verdicts: make(map[uint32]sym.Verdict, len(inv.Filters)), pure: true}
+	if len(inv.Filters) > 0 {
+		res.classSteps = make(map[string]uint64, 3)
+	}
 	for _, f := range inv.Filters {
 		rep, err := exec.TryAnalyzeFilterIn(mod, f)
 		if err != nil {
@@ -403,6 +421,7 @@ func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleIn
 			res.pure = false
 		}
 		res.steps += uint64(rep.Steps)
+		res.classSteps[filterClass(rep.Verdict)] += uint64(rep.Steps)
 		res.verdicts[f] = rep.Verdict
 		switch rep.Verdict {
 		case sym.VerdictAccepts:
@@ -412,6 +431,25 @@ func classifyModuleFilters(exec *sym.Executor, mod *bin.Module, inv seh.ModuleIn
 		}
 	}
 	return res, nil
+}
+
+// filterClass names the cost-attribution unit for one filter analysis: its
+// verdict class. The corpus builds thousands of filters from a handful of
+// idioms spread evenly over the modules, so per-module (or per-filter)
+// attribution is flat noise; the class axis is where symbolic-execution
+// cost genuinely concentrates. The module stays visible as the profile's
+// sub-frame.
+func filterClass(v sym.Verdict) string {
+	return v.ProfileClass()
+}
+
+// profileSymex charges one module job's symbolic steps to its filter
+// classes. Cold computes and warm cache replays carry the same breakdown
+// (sehSymexEntry persists it), so the charges agree in both directions.
+func profileSymex(rp runProf, module string, sx sehSymexResult) {
+	for class, n := range sx.classSteps {
+		rp.addSub("symex", class, module, prof.KindSymexSteps, n)
+	}
 }
 
 // crossRefModuleSEH builds one module's table row from its inventory,

@@ -30,6 +30,7 @@ import (
 	"crashresist/internal/kernel"
 	"crashresist/internal/mem"
 	"crashresist/internal/metrics"
+	"crashresist/internal/prof"
 	"crashresist/internal/targets"
 	"crashresist/internal/vm"
 )
@@ -233,6 +234,10 @@ type SyscallAnalyzer struct {
 	// Ignored while a FaultPlan is attached: chaos runs must neither
 	// read nor write entries shared with clean runs.
 	Cache *cas.Cache
+	// Profile, when non-nil, receives each run's deterministic cost
+	// attribution (see internal/prof). Profiling never touches report
+	// contents.
+	Profile *prof.Profile
 }
 
 // AnalyzeAll runs the pipeline for every server, fanning the servers out
@@ -276,8 +281,9 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		invalid = InvalidProbeAddr
 	}
 	col := newRunCollector("syscall", srv.Name, a.Workers, a.Progress, a.Sinks)
-	res := newResilience(srv.Name, a.FaultPlan, a.Retries, col)
-	rc := runCache{col: col}
+	rp := newRunProf(a.Profile, "syscall", srv.Name)
+	res := newResilience(srv.Name, a.FaultPlan, a.Retries, col, rp)
+	rc := runCache{col: col, rp: rp}
 	var srvImage []byte
 	if a.FaultPlan == nil && a.Cache != nil {
 		if data, merr := bin.Marshal(srv.Image); merr == nil {
@@ -294,7 +300,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		candidates []Candidate
 	)
 	err := res.run(ctx, "observe", srv.Name, 0, func(int) error {
-		o, c, err := a.observe(srv, col)
+		o, c, err := a.observe(srv, col, rp)
 		if err != nil {
 			return err
 		}
@@ -346,10 +352,11 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 				key = validateKey(srvImage, srv.Name, a.Seed, invalid, cand)
 				haveKey = true
 				var ent validateEntry
-				if rc.get(casFamilyValidate, key, &ent) {
+				if rc.get(casFamilyValidate, key, &ent, "validate", jobKey) {
 					span.Observe(ent.Cost.Clock)
 					harvestVMStats(col, ent.Cost.Stats)
 					harvestKernelCounts(col, ent.Cost.Kernel)
+					profileValidate(rp, jobKey, ent.Cost)
 					findings[i] = ent.Finding
 					return nil
 				}
@@ -362,8 +369,9 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 			span.Observe(cost.Clock)
 			harvestVMStats(col, cost.Stats)
 			harvestKernelCounts(col, cost.Kernel)
+			profileValidate(rp, jobKey, cost)
 			if haveKey {
-				rc.put(casFamilyValidate, key, validateEntry{Finding: finding, Cost: cost})
+				rc.put(casFamilyValidate, key, validateEntry{Finding: finding, Cost: cost}, "validate", jobKey)
 			}
 			findings[i] = finding
 			return nil
@@ -417,10 +425,17 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 	return report, nil
 }
 
+// profileValidate charges one validation replay's cost, identically for
+// cold computes and warm cache replays (the entry persists the cost).
+func profileValidate(rp runProf, jobKey string, cost validateCost) {
+	rp.add("validate", jobKey, prof.KindClockTicks, cost.Clock)
+	rp.add("validate", jobKey, prof.KindVMInstructions, cost.Stats.Instructions)
+}
+
 // observe runs the suite once under taint tracking, collecting observed
 // EFAULT-capable syscalls and corruptible-pointer candidates. The run is
 // the "taint" span; candidate distillation afterwards is "candidate".
-func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (map[string]bool, []Candidate, error) {
+func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector, rp runProf) (map[string]bool, []Candidate, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
 		return nil, nil, err
@@ -472,6 +487,8 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 		span.End()
 		harvestVMStats(col, env.Proc.Stats)
 		harvestKernelCounts(col, env.Kern.Counts())
+		rp.add("taint", "suite", prof.KindClockTicks, env.Proc.Clock)
+		rp.add("taint", "suite", prof.KindVMInstructions, env.Proc.Stats.Instructions)
 		return observed, nil, nil
 	}
 	suiteErr := srv.Suite(env)
@@ -479,6 +496,8 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector) (
 	span.End()
 	harvestVMStats(col, env.Proc.Stats)
 	harvestKernelCounts(col, env.Kern.Counts())
+	rp.add("taint", "suite", prof.KindClockTicks, env.Proc.Clock)
+	rp.add("taint", "suite", prof.KindVMInstructions, env.Proc.Stats.Instructions)
 	if suiteErr != nil {
 		return nil, nil, suiteErr
 	}

@@ -57,6 +57,10 @@ type Probe struct {
 	Outcome Outcome
 	// Ret is the API return value for graceful probes.
 	Ret uint64
+	// Instructions counts the instructions the probe's harness process
+	// retired — the probe's exact virtual cost, attributable per pointer
+	// by the cost profiler. Per-probe costs sum to the FuncResult's Stats.
+	Instructions uint64
 }
 
 // FuncResult is the fuzzing result for one API function.
@@ -130,7 +134,7 @@ func (f *Fuzzer) FuzzOne(d *winapi.Descriptor) (FuncResult, error) {
 			return FuncResult{}, err
 		}
 		res.Stats.Add(stats)
-		res.Probes = append(res.Probes, Probe{Pointer: ptr, Outcome: outcome, Ret: ret})
+		res.Probes = append(res.Probes, Probe{Pointer: ptr, Outcome: outcome, Ret: ret, Instructions: stats.Instructions})
 		if outcome != OutcomeGraceful {
 			res.CrashResistant = false
 		}

@@ -72,6 +72,35 @@ func TestReadEFAULTOnPartialMapping(t *testing.T) {
 			t.Fatalf("partial copy leaked to byte %d: % x", i, got)
 		}
 	}
+
+	// The fault-event time series bucketed the -EFAULT completion: bucket
+	// totals always equal the EFAULT return counter.
+	c := k.Counts()
+	if c.EFAULTReturns == 0 {
+		t.Fatal("EFAULTReturns = 0 after an -EFAULT completion")
+	}
+	var total uint64
+	for _, n := range c.EFAULTBuckets {
+		total += n
+	}
+	if total != c.EFAULTReturns {
+		t.Errorf("fault buckets sum to %d, want %d", total, c.EFAULTReturns)
+	}
+	// Counts() hands out a clone: mutating it must not reach the kernel.
+	for b := range c.EFAULTBuckets {
+		c.EFAULTBuckets[b] += 100
+	}
+	if again := k.Counts(); again.EFAULTBuckets[firstKey(again.EFAULTBuckets)] >= 100 {
+		t.Error("Counts() exposed the kernel's live bucket map")
+	}
+}
+
+// firstKey returns any key of a non-empty map (test helper).
+func firstKey(m map[uint64]uint64) uint64 {
+	for k := range m {
+		return k
+	}
+	return 0
 }
 
 // TestPathStringCrossingIntoUnmapped verifies EFAULT when a NUL-terminated

@@ -12,6 +12,7 @@ package kernel
 
 import (
 	"fmt"
+	"maps"
 
 	"crashresist/internal/faultinject"
 	"crashresist/internal/mem"
@@ -208,10 +209,21 @@ type Counts struct {
 	// Injected counts syscalls answered with a plan-injected error
 	// (-EAGAIN transient, -EIO permanent) instead of running.
 	Injected uint64
+	// EFAULTBuckets is the process's fault-event time series: -EFAULT
+	// completions bucketed by the virtual second of the process clock
+	// (Clock / TicksPerSecond) at completion time. The kernel has no wall
+	// clock, so the series — like every count here — is deterministic for
+	// a fixed seed and workload.
+	EFAULTBuckets map[uint64]uint64 `json:"efault_buckets,omitempty"`
 }
 
-// Counts returns the kernel's dispatch counters so far.
-func (k *Kernel) Counts() Counts { return k.counts }
+// Counts returns the kernel's dispatch counters so far. The bucket series
+// is copied, so callers may retain the result across further dispatches.
+func (k *Kernel) Counts() Counts {
+	c := k.counts
+	c.EFAULTBuckets = maps.Clone(c.EFAULTBuckets)
+	return c
+}
 
 // fileLike is anything installable in the fd table.
 type fileLike interface {
@@ -297,6 +309,10 @@ func (k *Kernel) Syscall(p *vm.Process, t *vm.Thread) {
 func (k *Kernel) complete(t *vm.Thread, ev Event, ret uint64) {
 	if int64(ret) == -int64(EFAULT) {
 		k.counts.EFAULTReturns++
+		if k.counts.EFAULTBuckets == nil {
+			k.counts.EFAULTBuckets = make(map[uint64]uint64)
+		}
+		k.counts.EFAULTBuckets[k.proc.Clock/TicksPerSecond]++
 	}
 	t.SetReg(0, ret)
 	if k.proc.Flow != nil {

@@ -19,6 +19,7 @@ package metrics
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"sync"
@@ -234,6 +235,11 @@ type RunStats struct {
 	Spans []Span `json:"spans,omitempty"`
 	// SpansDropped counts job spans discarded past the per-run cap.
 	SpansDropped int `json:"spans_dropped,omitempty"`
+	// FaultEvents is the run's fault-event time series: -EFAULT syscall
+	// completions bucketed by the virtual second of the emitting process's
+	// clock, summed across all analyzed processes. Deterministic for a
+	// fixed seed at any worker count (bucket sums commute).
+	FaultEvents map[uint64]uint64 `json:"fault_events,omitempty"`
 	// WallNS is the whole run's wall-clock duration. Non-deterministic.
 	WallNS int64 `json:"wall_ns"`
 }
@@ -309,6 +315,7 @@ type Collector struct {
 	emitting atomic.Bool
 
 	mu           sync.Mutex
+	faultEvents  map[uint64]uint64
 	stages       []StageStats
 	stageSeq     int
 	spans        []Span
@@ -364,6 +371,24 @@ func (c *Collector) Add(ctr Counter, n uint64) {
 		return
 	}
 	c.counts[ctr].Add(n)
+}
+
+// AddFaultEvents folds one process's fault-event time series (kernel
+// -EFAULT completions bucketed by virtual second) into the run's series.
+// Bucket additions commute, so the accumulated series is deterministic at
+// any worker count. Safe from any goroutine.
+func (c *Collector) AddFaultEvents(buckets map[uint64]uint64) {
+	if c == nil || len(buckets) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.faultEvents == nil {
+		c.faultEvents = make(map[uint64]uint64)
+	}
+	for b, n := range buckets {
+		c.faultEvents[b] += n
+	}
+	c.mu.Unlock()
 }
 
 // emit delivers one event to the progress callback and sinks, serialized.
@@ -500,6 +525,7 @@ func (c *Collector) Snapshot() *RunStats {
 	}
 	wall := time.Since(c.start).Nanoseconds()
 	c.mu.Lock()
+	faults := maps.Clone(c.faultEvents)
 	stages := append([]StageStats(nil), c.stages...)
 	spans := make([]Span, 0, len(c.spans)+2)
 	spans = append(spans,
@@ -517,6 +543,7 @@ func (c *Collector) Snapshot() *RunStats {
 		Stages:       stages,
 		Spans:        spans,
 		SpansDropped: dropped,
+		FaultEvents:  faults,
 		WallNS:       wall,
 	}
 }

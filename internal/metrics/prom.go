@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"crashresist/internal/prof"
 )
 
 // tracedRuns bounds the recent-run ring served on /trace.json.
@@ -43,7 +45,9 @@ type Registry struct {
 	runs     map[promLabels]uint64
 	wallNS   map[promLabels]int64
 	hists    map[promStageLabels]*HistSnapshot
+	faults   map[promLabels]map[uint64]uint64
 	recent   *Ring[*RunStats]
+	profile  *prof.Profile
 }
 
 // NewRegistry returns an empty registry.
@@ -53,8 +57,31 @@ func NewRegistry() *Registry {
 		runs:     make(map[promLabels]uint64),
 		wallNS:   make(map[promLabels]int64),
 		hists:    make(map[promStageLabels]*HistSnapshot),
+		faults:   make(map[promLabels]map[uint64]uint64),
 		recent:   NewRing[*RunStats](tracedRuns),
 	}
+}
+
+// SetProfile attaches the cost profile served on /profile. The registry
+// does not copy it: callers keep charging into the same profile while it
+// is served, and Snapshot captures a consistent view per request.
+func (g *Registry) SetProfile(p *prof.Profile) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.profile = p
+	g.mu.Unlock()
+}
+
+// Profile returns the attached cost profile, nil when none was set.
+func (g *Registry) Profile() *prof.Profile {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.profile
 }
 
 // Event implements Sink (no-op: the registry aggregates completed runs).
@@ -78,6 +105,16 @@ func (g *Registry) Flush(stats *RunStats) error {
 	}
 	g.runs[key]++
 	g.wallNS[key] = stats.WallNS
+	if len(stats.FaultEvents) > 0 {
+		fm := g.faults[key]
+		if fm == nil {
+			fm = make(map[uint64]uint64)
+			g.faults[key] = fm
+		}
+		for b, n := range stats.FaultEvents {
+			fm[b] += n
+		}
+	}
 	for _, st := range stats.Stages {
 		if st.Latency == nil {
 			continue
@@ -146,6 +183,17 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	for labels, h := range g.hists {
 		hists = append(hists, histSeries{labels: labels, h: h.Clone()})
 	}
+	type faultSeries struct {
+		labels promLabels
+		bucket uint64
+		v      uint64
+	}
+	var faults []faultSeries
+	for labels, fm := range g.faults {
+		for b, v := range fm {
+			faults = append(faults, faultSeries{labels: labels, bucket: b, v: v})
+		}
+	}
 	g.mu.Unlock()
 
 	sort.Slice(counters, func(i, j int) bool {
@@ -164,6 +212,16 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			return a.labels.pipeline < b.labels.pipeline
 		}
 		return a.labels.target < b.labels.target
+	})
+	sort.Slice(faults, func(i, j int) bool {
+		a, b := faults[i], faults[j]
+		if a.labels.pipeline != b.labels.pipeline {
+			return a.labels.pipeline < b.labels.pipeline
+		}
+		if a.labels.target != b.labels.target {
+			return a.labels.target < b.labels.target
+		}
+		return a.bucket < b.bucket
 	})
 	sort.Slice(hists, func(i, j int) bool {
 		a, b := hists[i].labels, hists[j].labels
@@ -199,6 +257,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "crashresist_last_run_wall_seconds{%s} %g\n", r.labels, float64(r.wallNS)/1e9)
 		}
 	}
+	if len(faults) > 0 {
+		b.WriteString("# HELP crashresist_fault_events_total Kernel -EFAULT completions bucketed by virtual second of the process clock.\n")
+		b.WriteString("# TYPE crashresist_fault_events_total counter\n")
+		for _, f := range faults {
+			fmt.Fprintf(&b, "crashresist_fault_events_total{%s,tick_bucket=\"%d\"} %d\n", f.labels, f.bucket, f.v)
+		}
+	}
 	if len(hists) > 0 {
 		b.WriteString("# HELP crashresist_stage_latency_ticks Per-job virtual-cost distribution by stage (deterministic ticks).\n")
 		b.WriteString("# TYPE crashresist_stage_latency_ticks summary\n")
@@ -230,13 +295,29 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // Handler returns the live serving surface: /metrics (Prometheus text),
-// /trace.json (Chrome trace of the recent runs), /debug/vars (expvar),
-// /debug/pprof (runtime profiles) and /healthz.
+// /profile (the attached cost profile: JSON by default,
+// ?format=folded for flamegraph.pl input, ?format=top for the ranked
+// report), /trace.json (Chrome trace of the recent runs), /debug/vars
+// (expvar), /debug/pprof (runtime profiles) and /healthz.
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		g.WritePrometheus(w)
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		snap := g.Profile().Snapshot() // nil-safe: empty profile serves empty
+		switch r.URL.Query().Get("format") {
+		case "folded":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteFolded(w)
+		case "top":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteTop(w, 0)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			snap.WriteJSON(w)
+		}
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"crashresist/internal/prof"
 )
 
 // registryWithRun returns a registry holding one traced run.
@@ -145,6 +147,107 @@ func TestRegistryHandlerEndpoints(t *testing.T) {
 	body, _ = get("/healthz")
 	if body != "ok\n" {
 		t.Errorf("/healthz = %q", body)
+	}
+}
+
+// TestFaultEventFamily proves the per-process fault-event time series
+// reaches the exposition: tick buckets become one labeled series each,
+// sorted, and accumulate across runs.
+func TestFaultEventFamily(t *testing.T) {
+	g := NewRegistry()
+	stats := &RunStats{
+		Pipeline:    "syscall",
+		Target:      "nginx",
+		FaultEvents: map[uint64]uint64{3: 2, 1: 5},
+	}
+	if err := g.Flush(stats); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Flush(stats); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE crashresist_fault_events_total counter",
+		`crashresist_fault_events_total{pipeline="syscall",target="nginx",tick_bucket="1"} 10`,
+		`crashresist_fault_events_total{pipeline="syscall",target="nginx",tick_bucket="3"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `tick_bucket="1"`) > strings.Index(out, `tick_bucket="3"`) {
+		t.Error("fault-event series not sorted by bucket")
+	}
+}
+
+// TestProfileEndpoint exercises the /profile route in all three formats.
+func TestProfileEndpoint(t *testing.T) {
+	g := registryWithRun(t)
+	p := prof.New()
+	p.Add(prof.Stack{Pipeline: "seh", Stage: "symex", Target: "ie", Unit: "filter:rejects-av"}, prof.KindSymexSteps, 41)
+	g.SetProfile(p)
+	if g.Profile() != p {
+		t.Fatal("Profile() did not return the attached profile")
+	}
+
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	body := get("/profile")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/profile not valid JSON: %v\n%s", err, body)
+	}
+	if doc["schema"] != prof.SchemaV1 {
+		t.Errorf("/profile schema = %v", doc["schema"])
+	}
+
+	if body = get("/profile?format=folded"); !strings.Contains(body, "symex_steps;seh;symex;ie;filter:rejects-av 41") {
+		t.Errorf("folded profile = %q", body)
+	}
+	if body = get("/profile?format=top"); !strings.Contains(body, "== symex_steps: total 41") {
+		t.Errorf("top profile = %q", body)
+	}
+}
+
+// TestProfileEndpointEmpty: a registry with no profile serves an empty
+// document, not an error.
+func TestProfileEndpointEmpty(t *testing.T) {
+	g := registryWithRun(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/profile without a profile: status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !json.Valid(body) {
+		t.Errorf("/profile without a profile not valid JSON: %s", body)
 	}
 }
 

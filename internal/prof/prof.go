@@ -1,0 +1,317 @@
+// Package prof implements an exact, deterministic cost profiler for the
+// discovery pipelines.
+//
+// Unlike a sampling profiler, prof attributes the pipelines' *virtual*
+// costs — symbolic-execution steps, VM instructions, environment clock
+// ticks, cache bytes, retries and backoff ticks — to semantic stacks
+//
+//	pipeline → stage → target → unit [→ sub]
+//
+// where the unit is the thing a worker was charged for: an exception-filter
+// class, an API descriptor, a syscall candidate, a probe scan. Because
+// every cost is a deterministic function of the analysis inputs (the VM has
+// no wall clock) and accumulation is a commutative sum per stack, the
+// resulting profile is byte-identical at any worker count and — since the
+// content-addressed cache replays the stored Steps/Stats on hits — on warm
+// cache runs too.
+//
+// One Profile exports three ways: folded-stacks text for flamegraph.pl,
+// a ranked top-N hot-spot report, and a JSON snapshot for HTTP serving.
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SchemaV1 identifies the JSON snapshot layout.
+const SchemaV1 = "crashresist/profile/v1"
+
+// Kind enumerates the virtual cost dimensions a sample can carry.
+type Kind uint8
+
+// Cost kinds.
+const (
+	// KindSymexSteps counts symbolic-execution steps (internal/sym).
+	KindSymexSteps Kind = iota
+	// KindVMInstructions counts emulated instructions (internal/vm).
+	KindVMInstructions
+	// KindClockTicks counts virtual environment clock ticks.
+	KindClockTicks
+	// KindRetries counts retried job attempts (resilience layer).
+	KindRetries
+	// KindBackoffTicks counts virtual backoff ticks between retries.
+	KindBackoffTicks
+	// KindCacheBytes counts content-addressed cache entry bytes
+	// transferred (read on hit, written on store). Unlike every other
+	// kind it necessarily depends on the cache state — a cacheless run
+	// transfers nothing — so ranked reports exclude it; see WriteTop.
+	KindCacheBytes
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"symex_steps",
+	"vm_instructions",
+	"clock_ticks",
+	"retries",
+	"backoff_ticks",
+	"cache_bytes",
+}
+
+// String returns the kind's stable wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind_%d", uint8(k))
+}
+
+// cacheInvariant reports whether the kind's totals are independent of the
+// cache state (off, cold or warm). Every virtual-work kind is: the CAS
+// replays stored costs on hits, and retries are a pure function of the
+// fault plan. Cache byte traffic is the one exception.
+func (k Kind) cacheInvariant() bool { return k != KindCacheBytes }
+
+// Stack is the semantic attribution path of a sample. Sub is an optional
+// drill-down frame below the unit (for example the module a filter-class
+// observation came from); ranked reports aggregate over it, folded stacks
+// keep it as a deeper frame.
+type Stack struct {
+	Pipeline string
+	Stage    string
+	Target   string
+	Unit     string
+	Sub      string
+}
+
+// Profile accumulates cost samples. The zero value is not usable; call
+// New. All methods are safe for concurrent use and safe on a nil
+// receiver, so pipelines can thread an optional *Profile without guards.
+type Profile struct {
+	mu      sync.Mutex
+	samples map[Stack]*[numKinds]uint64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{samples: make(map[Stack]*[numKinds]uint64)}
+}
+
+// Add charges n units of kind k to the stack. Additions commute, so any
+// interleaving of concurrent workers yields the same profile. A nil
+// profile or a zero n records nothing.
+func (p *Profile) Add(s Stack, k Kind, n uint64) {
+	if p == nil || n == 0 || k >= numKinds {
+		return
+	}
+	p.mu.Lock()
+	cell := p.samples[s]
+	if cell == nil {
+		cell = new([numKinds]uint64)
+		p.samples[s] = cell
+	}
+	cell[k] += n
+	p.mu.Unlock()
+}
+
+// Merge folds every sample of q into p. Merging commutes and is safe
+// while both profiles are concurrently written.
+func (p *Profile) Merge(q *Profile) {
+	if p == nil || q == nil || p == q {
+		return
+	}
+	for _, sm := range q.Snapshot().Samples {
+		p.Add(Stack{sm.Pipeline, sm.Stage, sm.Target, sm.Unit, sm.Sub}, sm.kind, sm.Value)
+	}
+}
+
+// Sample is one (stack, kind) cost observation in a snapshot.
+type Sample struct {
+	Kind     string `json:"kind"`
+	Pipeline string `json:"pipeline"`
+	Stage    string `json:"stage"`
+	Target   string `json:"target"`
+	Unit     string `json:"unit"`
+	Sub      string `json:"sub,omitempty"`
+	Value    uint64 `json:"value"`
+
+	kind Kind
+}
+
+// Snapshot is an immutable, deterministically ordered view of a profile.
+type Snapshot struct {
+	Schema  string            `json:"schema"`
+	Samples []Sample          `json:"samples"`
+	Totals  map[string]uint64 `json:"totals"`
+}
+
+// Snapshot captures the profile's current contents, sorted by
+// (kind, pipeline, stage, target, unit, sub) so equal profiles render
+// byte-identical output. A nil profile snapshots empty.
+func (p *Profile) Snapshot() *Snapshot {
+	snap := &Snapshot{Schema: SchemaV1, Totals: make(map[string]uint64)}
+	if p == nil {
+		return snap
+	}
+	p.mu.Lock()
+	for st, cell := range p.samples {
+		for k := Kind(0); k < numKinds; k++ {
+			if cell[k] == 0 {
+				continue
+			}
+			snap.Samples = append(snap.Samples, Sample{
+				Kind:     k.String(),
+				Pipeline: st.Pipeline,
+				Stage:    st.Stage,
+				Target:   st.Target,
+				Unit:     st.Unit,
+				Sub:      st.Sub,
+				Value:    cell[k],
+				kind:     k,
+			})
+			snap.Totals[k.String()] += cell[k]
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(snap.Samples, func(i, j int) bool { return snap.Samples[i].less(&snap.Samples[j]) })
+	return snap
+}
+
+func (s *Sample) less(o *Sample) bool {
+	if s.kind != o.kind {
+		return s.kind < o.kind
+	}
+	if s.Pipeline != o.Pipeline {
+		return s.Pipeline < o.Pipeline
+	}
+	if s.Stage != o.Stage {
+		return s.Stage < o.Stage
+	}
+	if s.Target != o.Target {
+		return s.Target < o.Target
+	}
+	if s.Unit != o.Unit {
+		return s.Unit < o.Unit
+	}
+	return s.Sub < o.Sub
+}
+
+// frames renders the sample's folded frame path (without the value).
+func (s *Sample) frames() string {
+	parts := []string{s.Kind, s.Pipeline, s.Stage, s.Target, s.Unit}
+	if s.Sub != "" {
+		parts = append(parts, s.Sub)
+	}
+	return strings.Join(parts, ";")
+}
+
+// WriteFolded writes the snapshot as folded stacks, one
+// "kind;pipeline;stage;target;unit[;sub] value" line per sample, the
+// format flamegraph.pl consumes. The cost kind is the root frame so each
+// kind forms its own subtree and sums stay unit-consistent.
+func (s *Snapshot) WriteFolded(w io.Writer) error {
+	for i := range s.Samples {
+		sm := &s.Samples[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", sm.frames(), sm.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topRow is one aggregated entry of the ranked report.
+type topRow struct {
+	key   Sample // Sub cleared; Value is the aggregate
+	value uint64
+}
+
+// WriteTop writes a ranked hot-spot report: per cost kind, the top n
+// stacks by value (aggregated over sub-frames) with their share of the
+// kind's total. Cache byte traffic is excluded — it is the one kind whose
+// totals legitimately differ between cacheless, cold- and warm-cache runs,
+// and this report is specified to be byte-identical across all three (it
+// remains visible in the folded and JSON exports).
+func (s *Snapshot) WriteTop(w io.Writer, n int) error {
+	if n <= 0 {
+		n = 30
+	}
+	byKind := make(map[Kind][]topRow)
+	agg := make(map[Sample]uint64)
+	for i := range s.Samples {
+		sm := s.Samples[i]
+		if !sm.kind.cacheInvariant() {
+			continue
+		}
+		sm.Sub = ""
+		sm.Value = 0
+		agg[sm] += s.Samples[i].Value
+	}
+	for key, v := range agg {
+		byKind[key.kind] = append(byKind[key.kind], topRow{key: key, value: v})
+	}
+	if _, err := fmt.Fprintf(w, "# crashresist cost profile — deterministic virtual costs, ranked\n"); err != nil {
+		return err
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		rows := byKind[k]
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].value != rows[j].value {
+				return rows[i].value > rows[j].value
+			}
+			return rows[i].key.less(&rows[j].key)
+		})
+		var total uint64
+		for _, r := range rows {
+			total += r.value
+		}
+		fmt.Fprintf(w, "\n== %s: total %d over %d stacks\n", k, total, len(rows))
+		for i, r := range rows {
+			if i >= n {
+				fmt.Fprintf(w, "   ... %d more\n", len(rows)-n)
+				break
+			}
+			fmt.Fprintf(w, "  %5.1f%%  %12d  %s;%s;%s;%s\n",
+				100*float64(r.value)/float64(total), r.value,
+				r.key.Pipeline, r.key.Stage, r.key.Target, r.key.Unit)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// UnmarshalJSON restores a snapshot, recovering the private kind index
+// from the wire name so re-exported reports stay ordered.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	type wire Snapshot
+	if err := json.Unmarshal(b, (*wire)(s)); err != nil {
+		return err
+	}
+	for i := range s.Samples {
+		s.Samples[i].kind = kindFromName(s.Samples[i].Kind)
+	}
+	return nil
+}
+
+func kindFromName(name string) Kind {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == name {
+			return k
+		}
+	}
+	return numKinds
+}

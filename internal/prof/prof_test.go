@@ -1,0 +1,233 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleCharges() []struct {
+	s Stack
+	k Kind
+	n uint64
+} {
+	return []struct {
+		s Stack
+		k Kind
+		n uint64
+	}{
+		{Stack{"seh", "symex", "ie", "filter:rejects-av", "kernel32.dll"}, KindSymexSteps, 700},
+		{Stack{"seh", "symex", "ie", "filter:rejects-av", "user32.dll"}, KindSymexSteps, 150},
+		{Stack{"seh", "symex", "ie", "filter:accepts-av", "kernel32.dll"}, KindSymexSteps, 150},
+		{Stack{"seh", "browse", "ie", "browse", ""}, KindVMInstructions, 9001},
+		{Stack{"seh", "browse", "ie", "browse", ""}, KindClockTicks, 42},
+		{Stack{"api", "fuzz", "firefox", "CreateFileA", ""}, KindVMInstructions, 512},
+		{Stack{"api", "fuzz", "firefox", "CreateFileA", ""}, KindCacheBytes, 2048},
+		{Stack{"syscall", "validate", "nginx", "recv/1", ""}, KindRetries, 3},
+		{Stack{"syscall", "validate", "nginx", "recv/1", ""}, KindBackoffTicks, 7},
+	}
+}
+
+func buildProfile(order []int) *Profile {
+	p := New()
+	ch := sampleCharges()
+	for _, i := range order {
+		c := ch[i]
+		p.Add(c.s, c.k, c.n)
+	}
+	return p
+}
+
+func foldedOf(t *testing.T, p *Profile) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteFolded(&buf); err != nil {
+		t.Fatalf("WriteFolded: %v", err)
+	}
+	return buf.String()
+}
+
+// TestAddCommutes checks the core determinism property: any insertion
+// order — and any interleaving of concurrent writers — yields the same
+// snapshot bytes.
+func TestAddCommutes(t *testing.T) {
+	n := len(sampleCharges())
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	want := foldedOf(t, buildProfile(base))
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		order := append([]int(nil), base...)
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if got := foldedOf(t, buildProfile(order)); got != want {
+			t.Fatalf("order %v changed folded output:\n%s\nwant:\n%s", order, got, want)
+		}
+	}
+
+	// Concurrent writers, one goroutine per charge.
+	p := New()
+	var wg sync.WaitGroup
+	for _, c := range sampleCharges() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Add(c.s, c.k, c.n)
+		}()
+	}
+	wg.Wait()
+	if got := foldedOf(t, p); got != want {
+		t.Fatalf("concurrent adds changed folded output:\n%s", got)
+	}
+}
+
+// TestMergeCommutes checks that sharded accumulation (one profile per
+// worker, merged at the end) equals direct accumulation, regardless of
+// merge order.
+func TestMergeCommutes(t *testing.T) {
+	ch := sampleCharges()
+	direct := buildProfile([]int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	want := foldedOf(t, direct)
+
+	shard := func(idx ...int) *Profile { return buildProfile(idx) }
+	a := shard(0, 3, 6)
+	b := shard(1, 4, 7)
+	c := shard(2, 5, 8)
+
+	m1 := New()
+	m1.Merge(a)
+	m1.Merge(b)
+	m1.Merge(c)
+	m2 := New()
+	m2.Merge(c)
+	m2.Merge(a)
+	m2.Merge(b)
+	if got := foldedOf(t, m1); got != want {
+		t.Fatalf("merge a,b,c != direct:\n%s\nwant:\n%s", got, want)
+	}
+	if got := foldedOf(t, m2); got != foldedOf(t, m1) {
+		t.Fatalf("merge order changed output")
+	}
+	_ = ch
+}
+
+func TestNilAndZeroSafe(t *testing.T) {
+	var p *Profile
+	p.Add(Stack{Pipeline: "x"}, KindSymexSteps, 1) // must not panic
+	p.Merge(New())
+	snap := p.Snapshot()
+	if len(snap.Samples) != 0 {
+		t.Fatalf("nil profile snapshot has samples: %+v", snap.Samples)
+	}
+
+	q := New()
+	q.Add(Stack{Pipeline: "x"}, KindSymexSteps, 0) // zero charge records nothing
+	q.Add(Stack{Pipeline: "x"}, numKinds, 5)       // out-of-range kind ignored
+	if got := q.Snapshot().Samples; len(got) != 0 {
+		t.Fatalf("zero/invalid adds recorded samples: %+v", got)
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	p := New()
+	p.Add(Stack{"seh", "symex", "ie", "filter:rejects-av", "mod.dll"}, KindSymexSteps, 10)
+	p.Add(Stack{"seh", "browse", "ie", "browse", ""}, KindClockTicks, 3)
+	got := foldedOf(t, p)
+	// Kind order is the enum order (symex_steps first), not lexical.
+	want := "symex_steps;seh;symex;ie;filter:rejects-av;mod.dll 10\n" +
+		"clock_ticks;seh;browse;ie;browse 3\n"
+	if got != want {
+		t.Fatalf("folded output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestWriteTopExcludesCacheBytes checks the ranked report's cache-state
+// invariance: cache_bytes samples never appear, while the same snapshot's
+// folded and JSON exports keep them.
+func TestWriteTopExcludesCacheBytes(t *testing.T) {
+	p := buildProfile([]int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	snap := p.Snapshot()
+
+	var top bytes.Buffer
+	if err := snap.WriteTop(&top, 0); err != nil {
+		t.Fatalf("WriteTop: %v", err)
+	}
+	if strings.Contains(top.String(), "cache_bytes") {
+		t.Fatalf("ranked report leaks cache_bytes:\n%s", top.String())
+	}
+	if !strings.Contains(top.String(), "== symex_steps: total 1000 over 2 stacks") {
+		t.Fatalf("ranked report missing aggregated symex section:\n%s", top.String())
+	}
+	// Sub frames aggregate: rejects-av 700+150=850 of 1000.
+	if !strings.Contains(top.String(), "85.0%") {
+		t.Fatalf("ranked report missing 85.0%% share:\n%s", top.String())
+	}
+
+	var folded bytes.Buffer
+	if err := snap.WriteFolded(&folded); err != nil {
+		t.Fatalf("WriteFolded: %v", err)
+	}
+	if !strings.Contains(folded.String(), "cache_bytes;api;fuzz;firefox;CreateFileA 2048") {
+		t.Fatalf("folded output lost cache_bytes:\n%s", folded.String())
+	}
+	if snap.Totals["cache_bytes"] != 2048 {
+		t.Fatalf("totals lost cache_bytes: %v", snap.Totals)
+	}
+}
+
+func TestWriteTopTruncation(t *testing.T) {
+	p := New()
+	for _, unit := range []string{"a", "b", "c", "d"} {
+		p.Add(Stack{"seh", "symex", "ie", unit, ""}, KindSymexSteps, 1)
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteTop(&buf, 2); err != nil {
+		t.Fatalf("WriteTop: %v", err)
+	}
+	if !strings.Contains(buf.String(), "... 2 more") {
+		t.Fatalf("missing truncation marker:\n%s", buf.String())
+	}
+}
+
+// TestJSONRoundTrip checks that a snapshot survives the wire: re-exported
+// folded and ranked output is byte-identical to the original's.
+func TestJSONRoundTrip(t *testing.T) {
+	p := buildProfile([]int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	snap := p.Snapshot()
+
+	var wire bytes.Buffer
+	if err := snap.WriteJSON(&wire); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(wire.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Schema != SchemaV1 {
+		t.Fatalf("schema = %q, want %q", back.Schema, SchemaV1)
+	}
+
+	render := func(s *Snapshot) (string, string) {
+		var f, top bytes.Buffer
+		if err := s.WriteFolded(&f); err != nil {
+			t.Fatalf("WriteFolded: %v", err)
+		}
+		if err := s.WriteTop(&top, 0); err != nil {
+			t.Fatalf("WriteTop: %v", err)
+		}
+		return f.String(), top.String()
+	}
+	f0, t0 := render(snap)
+	f1, t1 := render(&back)
+	if f0 != f1 {
+		t.Fatalf("folded output changed across JSON round trip:\n%s\nvs\n%s", f0, f1)
+	}
+	if t0 != t1 {
+		t.Fatalf("ranked output changed across JSON round trip:\n%s\nvs\n%s", t0, t1)
+	}
+}

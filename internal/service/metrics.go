@@ -128,17 +128,65 @@ func (s *Service) Quantile(tenant, kind string, q float64) (float64, bool) {
 	}
 }
 
+// tenantGauges is one tenant's instantaneous queue occupancy, sampled
+// under Service.mu for the gauge families.
+type tenantGauges struct {
+	queued, running, tokens int
+}
+
 // writePrometheus renders the service job families in Prometheus text
 // exposition format. Tenants are emitted in sorted order so scrapes are
-// deterministic.
+// deterministic. The gauge families carry both the unlabeled service
+// total (stable scrape surface) and one {tenant=...} series per tenant
+// currently occupying the queue or the budget.
 func (s *Service) writePrometheus(w io.Writer) {
-	queued, running := s.Counts()
-	fmt.Fprintf(w, "# HELP crashresist_jobs_queued Jobs waiting for dispatch.\n# TYPE crashresist_jobs_queued gauge\ncrashresist_jobs_queued %d\n", queued)
-	fmt.Fprintf(w, "# HELP crashresist_jobs_running Jobs currently holding worker tokens.\n# TYPE crashresist_jobs_running gauge\ncrashresist_jobs_running %d\n", running)
 	s.mu.Lock()
-	tokens := s.tokens
+	queued, running, tokens := s.queued, s.running, s.tokens
+	perTenant := make(map[string]*tenantGauges)
+	at := func(name string) *tenantGauges {
+		g, ok := perTenant[name]
+		if !ok {
+			g = &tenantGauges{}
+			perTenant[name] = g
+		}
+		return g
+	}
+	for t, q := range s.queues {
+		at(t).queued = len(q)
+	}
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			g := at(j.tenant)
+			g.running++
+			g.tokens += j.workers
+		}
+	}
 	s.mu.Unlock()
+	tnames := make([]string, 0, len(perTenant))
+	for t := range perTenant {
+		tnames = append(tnames, t)
+	}
+	sort.Strings(tnames)
+
+	fmt.Fprintf(w, "# HELP crashresist_jobs_queued Jobs waiting for dispatch.\n# TYPE crashresist_jobs_queued gauge\ncrashresist_jobs_queued %d\n", queued)
+	for _, t := range tnames {
+		if g := perTenant[t]; g.queued > 0 {
+			fmt.Fprintf(w, "crashresist_jobs_queued{tenant=%q} %d\n", t, g.queued)
+		}
+	}
+	fmt.Fprintf(w, "# HELP crashresist_jobs_running Jobs currently holding worker tokens.\n# TYPE crashresist_jobs_running gauge\ncrashresist_jobs_running %d\n", running)
+	for _, t := range tnames {
+		if g := perTenant[t]; g.running > 0 {
+			fmt.Fprintf(w, "crashresist_jobs_running{tenant=%q} %d\n", t, g.running)
+		}
+	}
 	fmt.Fprintf(w, "# HELP crashresist_worker_tokens_free Worker-budget tokens not held by running jobs.\n# TYPE crashresist_worker_tokens_free gauge\ncrashresist_worker_tokens_free %d\n", tokens)
+	fmt.Fprintf(w, "# HELP crashresist_worker_tokens_held Worker-budget tokens held by a tenant's running jobs.\n# TYPE crashresist_worker_tokens_held gauge\n")
+	for _, t := range tnames {
+		if g := perTenant[t]; g.tokens > 0 {
+			fmt.Fprintf(w, "crashresist_worker_tokens_held{tenant=%q} %d\n", t, g.tokens)
+		}
+	}
 
 	s.met.mu.Lock()
 	defer s.met.mu.Unlock()

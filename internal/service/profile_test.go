@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"crashresist"
+	"crashresist/internal/metrics"
+)
+
+// TestTenantGaugeSeries pins the gauge families' shape: the unlabeled
+// service totals stay exactly as before, and each tenant occupying the
+// queue or the budget gets its own labeled series.
+func TestTenantGaugeSeries(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 4)
+	s := New(Config{Budget: 2, MaxQueue: 8, Retain: 8, Runner: blockingRunner(started, release)})
+	defer s.Close()
+
+	var ids []string
+	for _, tn := range []string{"alice", "bob", "bob"} {
+		v, err := s.Submit(spec(tn, "nginx"))
+		if err != nil {
+			t.Fatalf("submit %s: %v", tn, err)
+		}
+		ids = append(ids, v.ID)
+	}
+	// Two tokens: alice's job and bob's first job run; bob's second queues.
+	<-started
+	<-started
+
+	var buf bytes.Buffer
+	s.writePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		// Unlabeled totals are the stable scrape surface.
+		"crashresist_jobs_queued 1\n",
+		"crashresist_jobs_running 2\n",
+		"crashresist_worker_tokens_free 0\n",
+		// Per-tenant occupancy.
+		`crashresist_jobs_queued{tenant="bob"} 1`,
+		`crashresist_jobs_running{tenant="alice"} 1`,
+		`crashresist_jobs_running{tenant="bob"} 1`,
+		`crashresist_worker_tokens_held{tenant="alice"} 1`,
+		`crashresist_worker_tokens_held{tenant="bob"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `crashresist_jobs_queued{tenant="alice"}`) {
+		t.Error("alice has no queued jobs but got a queued series")
+	}
+
+	close(release)
+	waitAllTerminal(t, s, ids)
+}
+
+// TestServiceMergesJobProfiles: with a registry attached, every job gets a
+// per-job profile and its charges land in the registry's /profile merge
+// once the job completes.
+func TestServiceMergesJobProfiles(t *testing.T) {
+	reg := metrics.NewRegistry()
+	runner := func(ctx context.Context, req crashresist.Request) (*crashresist.Result, error) {
+		if req.Profile == nil {
+			t.Error("job carried no profile despite the attached registry")
+			return &crashresist.Result{Schema: Schema}, nil
+		}
+		req.Profile.Add(crashresist.ProfileStack{
+			Pipeline: "syscall", Stage: "validate", Target: req.Target, Unit: "read",
+		}, crashresist.ProfClockTicks, 7)
+		return &crashresist.Result{Schema: Schema}, nil
+	}
+	s := New(Config{Budget: 1, MaxQueue: 4, Retain: 4, Runner: runner, Registry: reg})
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		v, err := s.Submit(spec("alice", "nginx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	waitAllTerminal(t, s, ids)
+
+	p := reg.Profile()
+	if p == nil {
+		t.Fatal("service did not install a registry profile")
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := "clock_ticks;syscall;validate;nginx;read 14"; !strings.Contains(buf.String(), want) {
+		t.Errorf("merged profile missing %q:\n%s", want, buf.String())
+	}
+}

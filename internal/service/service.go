@@ -211,6 +211,11 @@ type Service struct {
 // New starts a service: the scheduler goroutine runs until Close.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.Registry != nil && cfg.Registry.Profile() == nil {
+		// The registry's /profile endpoint serves the merge of every
+		// completed job's exact-cost profile.
+		cfg.Registry.SetProfile(crashresist.NewProfile())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
@@ -253,6 +258,13 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	if s.cfg.Registry != nil {
 		req.Sinks = append(req.Sinks, s.cfg.Registry)
+		// Every run charges into a per-job profile, merged into the
+		// registry's service-wide profile on completion (served at
+		// /profile). Jobs submitting "profile": true additionally get
+		// the per-job snapshot embedded in their Result.
+		if req.Profile == nil {
+			req.Profile = crashresist.NewProfile()
+		}
 	}
 
 	workers := req.Workers
@@ -450,6 +462,11 @@ func (s *Service) pendingTenantsLocked(chosen string) []string {
 func (s *Service) execute(j *job) {
 	defer s.wg.Done()
 	res, err := s.cfg.Runner(j.ctx, j.req)
+	if s.cfg.Registry != nil && j.req.Profile != nil {
+		if p := s.cfg.Registry.Profile(); p != nil {
+			p.Merge(j.req.Profile)
+		}
+	}
 	var raw json.RawMessage
 	if err == nil && res != nil {
 		raw, err = json.Marshal(res)

@@ -77,6 +77,15 @@ func (v Verdict) String() string {
 	}
 }
 
+// ProfileClass returns the verdict's cost-profile attribution label
+// ("filter:rejects-av", ...). The discovery pipelines attribute symbolic
+// execution steps by filter verdict class — the axis that actually
+// dominates symex cost (reject proofs must exhaust every path, so
+// rejecting filters cost an order of magnitude more than accepting ones)
+// — with the module as a drill-down sub-frame. The label is stable wire
+// surface: ranked reports and CI assertions key on it.
+func (v Verdict) ProfileClass() string { return "filter:" + v.String() }
+
 // verdictTokens are the stable JSON wire names.
 var verdictTokens = map[Verdict]string{
 	VerdictAccepts: "accepts",

@@ -186,6 +186,23 @@ func (s *Stats) Add(o Stats) {
 	s.APICalls += o.APICalls
 }
 
+// Minus returns the per-counter deltas since a prior snapshot of the same
+// process, so callers can attribute cost to one phase of a long-lived
+// process's life (the cost profiler charges a target's boot and scan
+// phases separately). Counters are monotonic, so fields subtract directly;
+// prev must be an earlier snapshot of the same Stats.
+func (s Stats) Minus(prev Stats) Stats {
+	return Stats{
+		Instructions:   s.Instructions - prev.Instructions,
+		Faults:         s.Faults - prev.Faults,
+		FaultsUnmapped: s.FaultsUnmapped - prev.FaultsUnmapped,
+		FaultsHandled:  s.FaultsHandled - prev.FaultsHandled,
+		FaultsInjected: s.FaultsInjected - prev.FaultsInjected,
+		Syscalls:       s.Syscalls - prev.Syscalls,
+		APICalls:       s.APICalls - prev.APICalls,
+	}
+}
+
 // CrashInfo records why a process died.
 type CrashInfo struct {
 	TID   int

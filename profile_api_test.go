@@ -1,0 +1,99 @@
+package crashresist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunIncludeProfile covers the wire surface: a request with
+// IncludeProfile gets the run's exact-cost snapshot embedded in the
+// Result (and surviving a JSON round trip); one without stays clean.
+func TestRunIncludeProfile(t *testing.T) {
+	req := Request{Target: "nginx", Seed: 42, Scale: "small", IncludeProfile: true}
+	res, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("IncludeProfile set but Result.Profile is nil")
+	}
+	if len(res.Profile.Samples) == 0 {
+		t.Error("embedded profile has no samples")
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile == nil || len(back.Profile.Samples) != len(res.Profile.Samples) {
+		t.Errorf("profile lost in round trip: %+v", back.Profile)
+	}
+
+	plain, err := Run(context.Background(), Request{Target: "nginx", Seed: 42, Scale: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil {
+		t.Error("Result.Profile present without IncludeProfile")
+	}
+}
+
+// TestProfileNeverChangesReport: the same request produces byte-identical
+// report JSON with and without a profile attached. Run wall-clock stats
+// are stripped first — they differ between ANY two runs and are already
+// kept out of artifact bytes by design.
+func TestProfileNeverChangesReport(t *testing.T) {
+	run := func(p *Profile) []byte {
+		t.Helper()
+		req := Request{Target: "nginx", Seed: 42, Scale: "small", Profile: p}
+		res, err := Run(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := *res.Syscall
+		rep.Stats = nil
+		raw, err := json.Marshal(&rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	without := run(nil)
+	with := run(NewProfile())
+	if !bytes.Equal(without, with) {
+		t.Error("attaching a profile changed the report bytes")
+	}
+}
+
+// TestSharedProfileAccumulates: one profile attached to two identical runs
+// holds exactly twice each sample of a single run — Add commutes and
+// merges are lossless across Run boundaries.
+func TestSharedProfileAccumulates(t *testing.T) {
+	one := NewProfile()
+	if _, err := Run(context.Background(), Request{Target: "nginx", Seed: 42, Scale: "small", Profile: one}); err != nil {
+		t.Fatal(err)
+	}
+	two := NewProfile()
+	for i := 0; i < 2; i++ {
+		if _, err := Run(context.Background(), Request{Target: "nginx", Seed: 42, Scale: "small", Profile: two}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, s2 := one.Snapshot(), two.Snapshot()
+	if len(s1.Samples) == 0 || len(s1.Samples) != len(s2.Samples) {
+		t.Fatalf("sample counts: one run %d, two runs %d", len(s1.Samples), len(s2.Samples))
+	}
+	for i := range s1.Samples {
+		a, b := s1.Samples[i], s2.Samples[i]
+		av, bv := a.Value, b.Value
+		a.Value, b.Value = 0, 0
+		if a != b || 2*av != bv {
+			t.Errorf("sample %d: one run %+v (%d), two runs %+v (%d)", i, a, av, b, bv)
+		}
+	}
+}

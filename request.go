@@ -85,6 +85,10 @@ type Request struct {
 	// uncached run when unusable (see WithCacheDir). Ignored when Cache is
 	// attached.
 	CacheDir string `json:"cache_dir,omitempty"`
+	// IncludeProfile asks Run to cost-profile the analysis and embed the
+	// resulting ProfileSnapshot in the Result (and thus in the service's
+	// stored job result). Profiling never changes report bytes.
+	IncludeProfile bool `json:"profile,omitempty"`
 
 	// Server attaches a pre-built server target (syscall pipeline).
 	Server *ServerTarget `json:"-"`
@@ -97,6 +101,11 @@ type Request struct {
 	FaultPlan *FaultPlan `json:"-"`
 	// Cache attaches an open persistent analysis cache (see WithCache).
 	Cache *AnalysisCache `json:"-"`
+	// Profile attaches a live cost profile (see WithProfile). When set,
+	// the run charges into it; combined with IncludeProfile the Result
+	// also embeds its snapshot. When only IncludeProfile is set, Run
+	// profiles into a fresh private profile.
+	Profile *Profile `json:"-"`
 	// Progress receives live StageEvents (see WithProgress).
 	Progress func(StageEvent) `json:"-"`
 	// Sinks receive live events and the final RunStats (see WithSink).
@@ -126,6 +135,10 @@ type Result struct {
 	Funnel *APIFunnelReport `json:"funnel,omitempty"`
 	// SEH is the Tables II/III report.
 	SEH *SEHReport `json:"seh,omitempty"`
+	// Profile is the run's cost-profile snapshot, present only when the
+	// request set IncludeProfile. Like Stats it lives outside the report
+	// fields, so report bytes are identical with profiling on or off.
+	Profile *ProfileSnapshot `json:"profile,omitempty"`
 }
 
 // Report returns the populated report: *SyscallReport, []*SyscallReport,
@@ -220,6 +233,9 @@ func (req Request) options() []Option {
 	case req.CacheDir != "":
 		opts = append(opts, WithCacheDir(req.CacheDir))
 	}
+	if req.Profile != nil {
+		opts = append(opts, WithProfile(req.Profile))
+	}
 	if req.Progress != nil {
 		opts = append(opts, WithProgress(req.Progress))
 	}
@@ -297,8 +313,26 @@ func (req Request) browserParams() (BrowserParams, error) {
 //
 // Determinism contract: for a fixed request, the result's reports are
 // byte-identical (Stats aside) at any Workers value, with any cache state,
-// and whether invoked directly or through the service.
+// and whether invoked directly or through the service. The embedded
+// profile snapshot (IncludeProfile) shares the contract: identical at any
+// worker count, and — ranked report and every cache-invariant kind —
+// across cache states.
 func Run(ctx context.Context, req Request) (*Result, error) {
+	if req.IncludeProfile && req.Profile == nil {
+		req.Profile = NewProfile()
+	}
+	res, err := run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if req.IncludeProfile {
+		res.Profile = req.Profile.Snapshot()
+	}
+	return res, nil
+}
+
+// run resolves and executes the request, leaving profile embedding to Run.
+func run(ctx context.Context, req Request) (*Result, error) {
 	opts := req.options()
 
 	// Scale gates every dispatch path (browser corpus size, generated
@@ -450,7 +484,7 @@ func analyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int6
 	a := &discover.APIAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache,
+		Cache: o.cache, Profile: o.profile,
 	}
 	return a.AnalyzeContext(ctx, br)
 }
@@ -460,7 +494,7 @@ func analyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64
 	a := &discover.SEHAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache,
+		Cache: o.cache, Profile: o.profile,
 	}
 	return a.AnalyzeContext(ctx, br)
 }

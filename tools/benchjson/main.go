@@ -1,21 +1,35 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // benchmark manifest on stdout, so CI can archive machine-readable results
-// (BENCH_PR5.json) next to the raw benchstat-comparable text:
+// (BENCH_PR9.json) next to the raw benchstat-comparable text:
 //
-//	go test -bench=. -benchtime=1x -count=1 ./... | tee bench.txt | benchjson > BENCH_PR5.json
+//	go test -bench=. -benchtime=1x -count=1 ./... | tee bench.txt | benchjson > BENCH_PR9.json
 //
 // The parser understands the standard benchmark result line — name,
 // iteration count, then (value, unit) pairs such as ns/op, B/op, allocs/op
 // and any custom ReportMetric units — and passes everything else through to
 // the "log" field untouched, so failures stay visible in the artifact.
+//
+// With -compare it is the CI regression gate instead: stdin (bench text or
+// a previously written manifest) is compared against a committed baseline
+// manifest, and the command exits nonzero when any benchmark's ns/op grew
+// by more than -tolerance percent:
+//
+//	benchjson -compare BENCH_PR9.json -tolerance 150 < bench.txt
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate, so adding or retiring a benchmark does not need a baseline dance
+// in the same change.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,17 +59,149 @@ type Doc struct {
 }
 
 func main() {
-	doc, err := parse(os.Stdin)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a failed -compare gate; its detail has already been
+// written to stdout, so main only needs the nonzero exit.
+var errRegression = errors.New("benchmark regression")
+
+// run is the whole command behind process setup, testable end to end.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compare   = fs.String("compare", "", "baseline manifest to gate against; exit nonzero when ns/op regresses past -tolerance")
+		tolerance = fs.Float64("tolerance", 20, "allowed ns/op growth over the baseline, in percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc, err := parseAny(stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *compare == "" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
+	f, err := os.Open(*compare)
+	if err != nil {
+		return err
+	}
+	base, err := decodeDoc(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", *compare, err)
+	}
+	regressions, notes := compareDocs(base, doc, *tolerance)
+	for _, n := range notes {
+		fmt.Fprintln(stderr, "benchjson:", n)
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(stdout, "REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stdout, "benchjson: %d benchmark(s) regressed past %.0f%% tolerance\n", len(regressions), *tolerance)
+		return errRegression
+	}
+	fmt.Fprintf(stdout, "benchjson: no ns/op regression past %.0f%% tolerance\n", *tolerance)
+	return nil
+}
+
+// parseAny accepts either raw `go test -bench` text or an already-written
+// manifest (first non-space byte '{'), so the gate can consume bench.txt
+// and committed baselines alike.
+func parseAny(r io.Reader) (*Doc, error) {
+	br := bufio.NewReaderSize(r, 1024*1024)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return &Doc{Results: []Result{}}, nil
+			}
+			return nil, err
+		}
+		switch b[0] {
+		case ' ', '\t', '\r', '\n':
+			br.Discard(1)
+			continue
+		case '{':
+			return decodeDoc(br)
+		default:
+			return parse(br)
+		}
+	}
+}
+
+// decodeDoc reads one JSON manifest.
+func decodeDoc(r io.Reader) (*Doc, error) {
+	var doc Doc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// nsPerOp averages ns/op per benchmark name (-count > 1 repeats names).
+func nsPerOp(doc *Doc) map[string]float64 {
+	sum := map[string]float64{}
+	n := map[string]int{}
+	for _, res := range doc.Results {
+		v, ok := res.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		sum[res.Name] += v
+		n[res.Name]++
+	}
+	out := make(map[string]float64, len(sum))
+	for name, s := range sum {
+		out[name] = s / float64(n[name])
+	}
+	return out
+}
+
+// compareDocs gates cur against base: a benchmark regresses when its mean
+// ns/op exceeds the baseline's by more than tolPct percent. Benchmarks on
+// only one side are returned as notes, never as regressions.
+func compareDocs(base, cur *Doc, tolPct float64) (regressions, notes []string) {
+	bv, cv := nsPerOp(base), nsPerOp(cur)
+	names := make([]string, 0, len(bv))
+	for name := range bv {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old := bv[name]
+		now, ok := cv[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("baseline benchmark %s missing from the new run", name))
+			continue
+		}
+		limit := old * (1 + tolPct/100)
+		if now > limit {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, now, old, (now/old-1)*100, tolPct))
+		}
+	}
+	extra := make([]string, 0)
+	for name := range cv {
+		if _, ok := bv[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		notes = append(notes, fmt.Sprintf("new benchmark %s has no baseline yet", name))
+	}
+	return regressions, notes
 }
 
 // parse consumes a benchmark stream and builds the manifest.

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -72,5 +77,105 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if len(doc.Results) != 0 || len(doc.Log) != 0 {
 		t.Errorf("empty stream produced %+v", doc)
+	}
+}
+
+// bench builds one single-metric result for comparison tests.
+func bench(name string, ns float64) Result {
+	return Result{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareDocs(t *testing.T) {
+	base := &Doc{Results: []Result{bench("BenchmarkA-8", 100), bench("BenchmarkB-8", 200), bench("BenchmarkGone-8", 50)}}
+	cur := &Doc{Results: []Result{bench("BenchmarkA-8", 115), bench("BenchmarkB-8", 400), bench("BenchmarkNew-8", 10)}}
+
+	regs, notes := compareDocs(base, cur, 20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB-8") {
+		t.Errorf("regressions = %q, want exactly BenchmarkB-8", regs)
+	}
+	// Missing and new benchmarks are notes, never failures.
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "BenchmarkGone-8") || !strings.Contains(joined, "BenchmarkNew-8") {
+		t.Errorf("notes = %q, want mentions of BenchmarkGone-8 and BenchmarkNew-8", notes)
+	}
+
+	// A wider tolerance admits the 2x growth.
+	if regs, _ := compareDocs(base, cur, 150); len(regs) != 0 {
+		t.Errorf("tolerance 150%% still flags %q", regs)
+	}
+}
+
+func TestCompareAveragesRepeatedNames(t *testing.T) {
+	// -count=3 repeats names; the gate compares means, so one noisy
+	// repetition does not fail an otherwise stable benchmark.
+	base := &Doc{Results: []Result{bench("BenchmarkA-8", 100)}}
+	cur := &Doc{Results: []Result{bench("BenchmarkA-8", 90), bench("BenchmarkA-8", 110), bench("BenchmarkA-8", 130)}}
+	if regs, _ := compareDocs(base, cur, 20); len(regs) != 0 {
+		t.Errorf("mean 110 vs 100 at 20%% tolerance flagged: %q", regs)
+	}
+}
+
+// writeBaseline marshals a manifest to a temp file and returns its path.
+func writeBaseline(t *testing.T, doc *Doc) string {
+	t.Helper()
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunCompareGate(t *testing.T) {
+	baseline := writeBaseline(t, &Doc{Results: []Result{bench("BenchmarkTableI-8", 100000000)}})
+
+	// The committed sample stream matches its own baseline: gate passes.
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-compare", baseline, "-tolerance", "20"},
+		strings.NewReader(sampleStream), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("gate failed against matching baseline: %v\nstdout: %s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no ns/op regression") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+
+	// A deliberately shrunken baseline (the CI dry run) must fail the gate.
+	regressed := writeBaseline(t, &Doc{Results: []Result{bench("BenchmarkTableI-8", 1000000)}})
+	stdout.Reset()
+	err = run([]string{"-compare", regressed, "-tolerance", "20"},
+		strings.NewReader(sampleStream), &stdout, &stderr)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("gate err = %v, want errRegression\nstdout: %s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION: BenchmarkTableI-8") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunCompareAcceptsManifestStdin(t *testing.T) {
+	doc := &Doc{Results: []Result{bench("BenchmarkA-8", 100)}}
+	baseline := writeBaseline(t, doc)
+	b, _ := json.Marshal(doc)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-compare", baseline}, bytes.NewReader(b), &stdout, &stderr); err != nil {
+		t.Fatalf("manifest-vs-itself failed: %v", err)
+	}
+}
+
+func TestRunWithoutCompareEmitsManifest(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleStream), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 4 {
+		t.Errorf("results = %d, want 4", len(doc.Results))
 	}
 }
