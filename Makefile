@@ -25,6 +25,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzCacheEntryDecode -fuzztime=30s ./internal/cas
 	$(GO) test -fuzz=FuzzGenDLL -fuzztime=30s ./internal/targets
 	$(GO) test -fuzz=FuzzGenServer -fuzztime=30s ./internal/targets
+	$(GO) test -fuzz=FuzzRateDetector -fuzztime=30s ./internal/defense
 
 # chaos runs the full paper-scale fault-injection sweep under the race
 # detector; tier-1 (`make test`/`make race`) only runs the trimmed sweep.

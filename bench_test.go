@@ -69,6 +69,64 @@ func BenchmarkTableI(b *testing.B) {
 	}
 }
 
+// BenchmarkTableIDetectOn reruns E1 with the defense observatory watching
+// every server analysis. Comparing its ns/op against BenchmarkTableI is the
+// observability-cost gate: the streaming detectors and the detectability
+// report must stay within noise of the undefended run (the engine only
+// folds integer counters the pipelines already produce).
+func BenchmarkTableIDetectOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		servers, err := Servers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := NewDetect()
+		usable := 0
+		falsePos := 0
+		for _, srv := range servers {
+			rep, err := AnalyzeServer(srv, 42, WithDetect(d))
+			if err != nil {
+				b.Fatal(err)
+			}
+			usable += len(rep.Usable())
+			for _, st := range rep.Status {
+				if st == StatusFalsePositive {
+					falsePos++
+				}
+			}
+		}
+		if usable != 5 {
+			b.Fatalf("usable primitives = %d, want 5 (one per server)", usable)
+		}
+		if falsePos != 1 {
+			b.Fatalf("false positives = %d, want 1 (memcached epoll_wait)", falsePos)
+		}
+		rep := d.Snapshot()
+		if len(rep.Sections) != len(servers) {
+			b.Fatalf("detect sections = %d, want %d", len(rep.Sections), len(servers))
+		}
+		flagged := 0
+		for _, sec := range rep.Sections {
+			if sec.Baseline == nil || len(sec.Baseline.Events) != 0 {
+				b.Fatalf("%s: benign baseline missing or flagged", sec.Target)
+			}
+			for _, row := range sec.Rows {
+				for _, trip := range row.Trips {
+					if trip.Detector == DefaultCalibration().Name {
+						flagged++
+						break
+					}
+				}
+			}
+		}
+		if flagged == 0 {
+			b.Fatal("no primitive trips the default detector at paper scale")
+		}
+		b.ReportMetric(float64(usable), "usable")
+		b.ReportMetric(float64(flagged), "flagged")
+	}
+}
+
 // BenchmarkAPIFunnel runs the full-scale Windows API pipeline (E2).
 func BenchmarkAPIFunnel(b *testing.B) {
 	br, err := IE(PaperBrowserParams())

@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		an  cliflags.Analysis
 		out cliflags.Output
 		prf cliflags.Profiling
+		det cliflags.Detection
 	)
 	var (
 		target    = fs.String("target", "nginx", "nginx|cherokee|lighttpd|memcached|postgresql|ie|firefox|all|gen|gen-<i>")
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	an.RegisterChaos(fs)
 	out.Register(fs)
 	prf.Register(fs)
+	det.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,9 +71,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := prf.Validate(); err != nil {
 		return err
 	}
+	if err := det.Validate(); err != nil {
+		return err
+	}
 
 	opts := an.Options(stderr, "crdiscover")
 	opts = append(opts, prf.Options()...)
+	opts = append(opts, det.Options()...)
 
 	// Trace export and live serving both ride a metrics registry sink. The
 	// listener binds before the analysis so scrapes work while it runs.
@@ -122,6 +128,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := printJSON(stdout, res.Report()); err != nil {
 			return err
 		}
+		if err := det.Emit(stdout); err != nil {
+			return err
+		}
 		return finish()
 	}
 	switch {
@@ -139,6 +148,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		printDegraded(stdout, res.Funnel.Degraded)
 	case res.SEH != nil:
 		printSEHReport(stdout, res.SEH)
+	}
+	// The detectability report appends after the report bytes, which stay
+	// identical with detection on or off.
+	if err := det.Emit(stdout); err != nil {
+		return err
 	}
 	return finish()
 }

@@ -75,6 +75,9 @@ type probeRun struct {
 	// boot phase and a scan phase (vm.Stats.Minus).
 	boot      vm.Stats
 	bootClock uint64
+	// scanClock is the scan phase's virtual duration, recorded at harvest
+	// for the detectability row (-detect).
+	scanClock uint64
 }
 
 // harvest folds a probed process's VM counters into the run collector.
@@ -87,6 +90,7 @@ func (pr *probeRun) harvest(p *vm.Process) {
 	pr.col.Add(metrics.CtrFaultsInjected, st.FaultsInjected)
 	pr.col.Add(metrics.CtrSyscalls, st.Syscalls)
 	pr.col.Add(metrics.CtrAPICalls, st.APICalls)
+	pr.scanClock = p.Clock - pr.bootClock
 	pr.profilePhases(p)
 }
 
@@ -133,6 +137,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 		an  cliflags.Analysis
 		out cliflags.Output
 		prf cliflags.Profiling
+		det cliflags.Detection
 	)
 	var (
 		target   = fs.String("target", "ie", "ie|firefox|nginx|cherokee")
@@ -144,6 +149,7 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 	an.RegisterSeed(fs)
 	out.Register(fs)
 	prf.Register(fs)
+	det.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -154,6 +160,9 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := prf.Validate(); err != nil {
+		return err
+	}
+	if err := det.Validate(); err != nil {
 		return err
 	}
 
@@ -185,6 +194,12 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 
 	stats := pr.col.Snapshot()
 	out.EmitStats(stderr, stats)
+	if det.Enabled() && pr.doc.Probes > 0 {
+		// The attack campaign as one detectability row: every unmapped
+		// probe is a defender-visible fault, over the scan's virtual time.
+		det.Detect().AddPrimitive("probe", *target, pr.doc.Oracle,
+			uint64(pr.doc.Probes), uint64(pr.doc.Probes-pr.doc.Mapped), pr.scanClock, nil)
+	}
 	if prf.Enabled() {
 		// The profile replaces the narrative/result on stdout.
 		return prf.Emit(stdout)
@@ -193,9 +208,12 @@ func runTo(args []string, stdout, stderr io.Writer) error {
 		pr.doc.Stats = stats
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(&pr.doc)
+		if err := enc.Encode(&pr.doc); err != nil {
+			return err
+		}
+		return det.Emit(stdout)
 	}
-	return nil
+	return det.Emit(stdout)
 }
 
 func (pr *probeRun) probeBrowser(name, scale string, size, window uint64, seed int64) error {

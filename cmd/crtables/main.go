@@ -34,6 +34,7 @@ func main() {
 		an  cliflags.Analysis
 		out cliflags.Output
 		prf cliflags.Profiling
+		det cliflags.Detection
 	)
 	table := flag.String("table", "all", "which artifact: 1, funnel, 2, 3, prior, rate, all")
 	an.RegisterScale(flag.CommandLine, "paper")
@@ -42,6 +43,7 @@ func main() {
 	an.RegisterChaos(flag.CommandLine)
 	out.Register(flag.CommandLine)
 	prf.Register(flag.CommandLine)
+	det.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := config{
@@ -53,6 +55,8 @@ func main() {
 		chaosSeed:   an.ChaosSeed,
 		profile:     prf.Profile(),
 		profileMode: prf.Mode,
+		detect:      det.Detect(),
+		detectMode:  det.Mode,
 	}
 	if out.Metrics {
 		cfg.metricsW = os.Stderr
@@ -103,6 +107,13 @@ type config struct {
 	// accumulated profile to the artifact writer INSTEAD of the tables,
 	// so `crtables -profile=folded | flamegraph.pl` pipes cleanly.
 	profileMode string
+	// detect, when non-nil, watches every run with the defense detection
+	// engine. Like profile it never touches the artifact bytes — the
+	// golden tests pin that tables render byte-identically with it on.
+	detect *crashresist.Detect
+	// detectMode, when non-empty (top or json), appends the accumulated
+	// detectability report to the artifact writer after the tables.
+	detectMode string
 }
 
 // openCacheOrWarn opens the persistent analysis cache at dir. An empty dir
@@ -171,6 +182,15 @@ func emit(w io.Writer, cfg config) error {
 		cfg.profile = crashresist.NewProfile()
 	}
 
+	switch cfg.detectMode {
+	case "", "top", "json":
+	default:
+		return fmt.Errorf("%w: unknown -detect %q (want top or json)", crashresist.ErrBadParams, cfg.detectMode)
+	}
+	if cfg.detectMode != "" && cfg.detect == nil {
+		cfg.detect = crashresist.NewDetect()
+	}
+
 	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
 	opts := []crashresist.Option{crashresist.WithWorkers(cfg.workers)}
 	if cfg.cache != nil {
@@ -183,6 +203,9 @@ func emit(w io.Writer, cfg config) error {
 	}
 	if cfg.profile != nil {
 		opts = append(opts, crashresist.WithProfile(cfg.profile))
+	}
+	if cfg.detect != nil {
+		opts = append(opts, crashresist.WithDetect(cfg.detect))
 	}
 
 	doc := document{Schema: crashresist.SchemaV1}
@@ -286,9 +309,28 @@ func emit(w io.Writer, cfg config) error {
 	if cfg.format == "json" {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(&doc)
+		if err := enc.Encode(&doc); err != nil {
+			return err
+		}
+	} else if err := renderText(w, &doc, cfg.table); err != nil {
+		return err
 	}
-	return renderText(w, &doc, cfg.table)
+	if cfg.detectMode != "" {
+		// The detectability report appends after the tables; the table
+		// bytes above are unchanged, so `crtables -detect=top` shows the
+		// artifacts and their defender's view in one pass.
+		return writeDetect(w, cfg.detect, cfg.detectMode)
+	}
+	return nil
+}
+
+// writeDetect renders the accumulated detectability report.
+func writeDetect(w io.Writer, d *crashresist.Detect, mode string) error {
+	rep := d.Snapshot()
+	if mode == "top" {
+		return rep.WriteTop(w)
+	}
+	return rep.WriteJSON(w)
 }
 
 // writeProfile renders the accumulated cost profile in the selected mode.

@@ -145,6 +145,68 @@ func (p *Profiling) Emit(w io.Writer) error {
 	return nil
 }
 
+// Detection groups the defense-observatory flags shared by the analysis
+// CLIs. The zero value (no -detect) disables detection entirely.
+type Detection struct {
+	Mode string
+	d    *crashresist.Detect
+}
+
+// Register adds -detect.
+func (d *Detection) Register(fs *flag.FlagSet) {
+	fs.StringVar(&d.Mode, "detect", "",
+		"watch the run with the defense detection engine and write the detectability report to stdout after the report: top (ranked text) or json")
+}
+
+// Validate rejects unknown -detect values.
+func (d *Detection) Validate() error {
+	switch d.Mode {
+	case "", "top", "json":
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown -detect %q (want top or json)", crashresist.ErrBadParams, d.Mode)
+	}
+}
+
+// Enabled reports whether -detect was given.
+func (d *Detection) Enabled() bool { return d.Mode != "" }
+
+// Detect returns the live observer the run should stream into, creating it
+// on first use (default calibration panel); nil when detection is off.
+func (d *Detection) Detect() *crashresist.Detect {
+	if !d.Enabled() {
+		return nil
+	}
+	if d.d == nil {
+		d.d = crashresist.NewDetect()
+	}
+	return d.d
+}
+
+// Options returns the option list attaching the observer; empty when off.
+func (d *Detection) Options() []crashresist.Option {
+	if !d.Enabled() {
+		return nil
+	}
+	return []crashresist.Option{crashresist.WithDetect(d.Detect())}
+}
+
+// Emit writes the accumulated detectability report to w in the selected
+// mode. A no-op when detection is off.
+func (d *Detection) Emit(w io.Writer) error {
+	if !d.Enabled() {
+		return nil
+	}
+	rep := d.Detect().Snapshot()
+	switch d.Mode {
+	case "top":
+		return rep.WriteTop(w)
+	case "json":
+		return rep.WriteJSON(w)
+	}
+	return nil
+}
+
 // Output groups the report-rendering flags.
 type Output struct {
 	Format  string

@@ -221,13 +221,15 @@ const (
 	CtrCacheMisses           = metrics.CtrCacheMisses
 	CtrCacheBadEntries       = metrics.CtrCacheBadEntries
 	CtrCacheBytes            = metrics.CtrCacheBytes
+	CtrDetections            = metrics.CtrDetections
 )
 
 // Stage event kinds.
 const (
-	StageBegin    = metrics.StageBegin
-	StageProgress = metrics.StageProgress
-	StageEnd      = metrics.StageEnd
+	StageBegin     = metrics.StageBegin
+	StageProgress  = metrics.StageProgress
+	StageEnd       = metrics.StageEnd
+	StageDetection = metrics.StageDetection
 )
 
 // NewMemorySink returns an empty in-memory metric sink.
@@ -294,6 +296,43 @@ type (
 	// Rerandomizer relocates a hidden region at run time.
 	Rerandomizer = defense.Rerandomizer
 )
+
+// Defense observatory (DESIGN.md §14): the online detection engine and the
+// Table VII-style detectability report. Attach a Detect observer with
+// WithDetect (or set Request.IncludeDetect); the rendered section rides
+// RunStats/Result, never the report tables.
+type (
+	// Detect is the streaming detection observer shared across runs; fold
+	// points are commutative, so sections are worker- and cache-invariant.
+	Detect = defense.Detect
+	// DetectReport is the multi-section detectability report (Snapshot).
+	DetectReport = defense.Report
+	// DetectSection is one pipeline/target's detection record: calibration
+	// panel, benign baseline, per-primitive rows, live stream verdicts.
+	DetectSection = defense.Section
+	// Detectability is one primitive's Table VII-style row.
+	Detectability = defense.Detectability
+	// DetectionEvent is one detector trip, also emitted as a typed
+	// StageEvent (KindDetection) on the live stream.
+	DetectionEvent = defense.DetectionEvent
+	// Calibration is one detector configuration in the panel.
+	Calibration = defense.Calibration
+)
+
+// DetectSchema versions the detectability report JSON.
+const DetectSchema = defense.DetectSchema
+
+// NewDetect returns a detection observer evaluating the given calibration
+// panel; with no arguments it uses DefaultCalibrations.
+func NewDetect(cals ...Calibration) *Detect { return defense.NewDetect(cals...) }
+
+// DefaultCalibrations is the standard panel: the §VII-C default window
+// detector plus a wide window and an EWMA variant.
+func DefaultCalibrations() []Calibration { return defense.DefaultCalibrations() }
+
+// DefaultCalibration is the §VII-C default alone: 64 faults per virtual
+// second over a 1-second sliding window.
+func DefaultCalibration() Calibration { return defense.DefaultCalibration() }
 
 // Servers builds the five Table I server targets.
 func Servers() ([]*ServerTarget, error) { return targets.AllServers() }
@@ -400,6 +439,7 @@ type options struct {
 	stageTimeout time.Duration
 	cache        *AnalysisCache
 	profile      *Profile
+	detect       *Detect
 }
 
 // AnalysisCache is a persistent, content-addressed store for analysis
@@ -470,6 +510,17 @@ func WithProfile(p *Profile) Option {
 	return func(o *options) { o.profile = p }
 }
 
+// WithDetect attaches a detection observer to the run. Every pipeline
+// feeds it its fault streams (benign baselines, per-primitive probe
+// batteries, the run-level series the online detector watches); one
+// observer may span several runs (sections accumulate per pipeline/target).
+// Detection never changes report contents — the rendered section rides
+// RunStats.Detect — and for a fixed request the section is identical at
+// any worker count and with any cache state.
+func WithDetect(d *Detect) Option {
+	return func(o *options) { o.detect = d }
+}
+
 // WithFaultPlan attaches a deterministic fault injection plan to the run
 // (chaos mode). Injected failures ride the normal error paths; combined
 // with WithRetry the pipelines degrade gracefully, recording dropped jobs
@@ -518,7 +569,7 @@ func (o options) syscallAnalyzer(seed int64) *discover.SyscallAnalyzer {
 	return &discover.SyscallAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache, Profile: o.profile,
+		Cache: o.cache, Profile: o.profile, Detect: o.detect,
 	}
 }
 

@@ -1,7 +1,9 @@
-package defense
+package defense_test
 
 import (
 	"testing"
+
+	"crashresist/internal/defense"
 
 	"crashresist/internal/oracle"
 	"crashresist/internal/targets"
@@ -18,7 +20,7 @@ func avEvents(clocks ...uint64) []trace.ExcEvent {
 }
 
 func TestRateDetectorThresholds(t *testing.T) {
-	d := RateDetector{Window: 100, Threshold: 3}
+	d := defense.RateDetector{Window: 100, Threshold: 3}
 
 	if d.Detect(nil) {
 		t.Error("empty stream detected")
@@ -64,7 +66,7 @@ func TestRateDetectorOnWorkloads(t *testing.T) {
 	if err := env.Start(); err != nil {
 		t.Fatal(err)
 	}
-	det := DefaultRateDetector()
+	det := defense.DefaultRateDetector()
 
 	// Baseline browse: no access violations at all.
 	if err := env.Browse(); err != nil {
@@ -120,7 +122,7 @@ func TestMappedOnlyPolicyStopsScanning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env.Proc.Policy = MappedOnlyPolicy()
+	env.Proc.Policy = defense.MappedOnlyPolicy()
 	if err := env.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +148,7 @@ func TestMappedOnlyPolicyStopsScanning(t *testing.T) {
 
 func TestRerandomizerInvalidatesLeak(t *testing.T) {
 	p := vm.NewProcess(vm.Config{Platform: vm.PlatformWindows, Seed: 55})
-	r, err := NewRerandomizer(p, 8192)
+	r, err := defense.NewRerandomizer(p, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +190,7 @@ func TestRerandomizationRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	const size = 32 * 4096
-	rr, err := NewRerandomizer(env.Proc, size)
+	rr, err := defense.NewRerandomizer(env.Proc, size)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +245,7 @@ func TestRerandomizationRace(t *testing.T) {
 }
 
 func TestStealthScanTicks(t *testing.T) {
-	d := RateDetector{Window: 1000, Threshold: 10}
+	d := defense.RateDetector{Window: 1000, Threshold: 10}
 	tests := []struct {
 		probes uint64
 		want   uint64
@@ -259,19 +261,19 @@ func TestStealthScanTicks(t *testing.T) {
 			t.Errorf("StealthScanTicks(%d) = %d, want %d", tt.probes, got, tt.want)
 		}
 	}
-	if (RateDetector{}).StealthScanTicks(5) != 0 {
+	if (defense.RateDetector{}).StealthScanTicks(5) != 0 {
 		t.Error("zero threshold should yield 0")
 	}
 }
 
 func TestProbesToCover(t *testing.T) {
-	if ProbesToCover(1<<30, 1<<18) != 1<<12 {
+	if defense.ProbesToCover(1<<30, 1<<18) != 1<<12 {
 		t.Error("cover count wrong")
 	}
-	if ProbesToCover(100, 0) != 0 {
+	if defense.ProbesToCover(100, 0) != 0 {
 		t.Error("zero stride should yield 0")
 	}
-	if ProbesToCover(100, 64) != 2 {
+	if defense.ProbesToCover(100, 64) != 2 {
 		t.Error("rounding wrong")
 	}
 }
@@ -281,12 +283,12 @@ func TestProbesToCover(t *testing.T) {
 // scan of a 47-bit user arena with SafeStack-sized strides to take years of
 // virtual time.
 func TestStealthScanIsImpractical(t *testing.T) {
-	det := DefaultRateDetector()
+	det := defense.DefaultRateDetector()
 	const (
 		arena  = uint64(1) << 43 // user address arena span
 		stride = uint64(8) << 20 // generous 8 MiB hidden region
 	)
-	probes := ProbesToCover(arena, stride)
+	probes := defense.ProbesToCover(arena, stride)
 	ticks := det.StealthScanTicks(probes)
 	// One virtual second is 1e6 ticks; the stealth scan must need at
 	// least multiple virtual hours, orders of magnitude beyond the

@@ -1,0 +1,347 @@
+package defense
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"crashresist/internal/kernel"
+	"crashresist/internal/trace"
+	"crashresist/internal/vm"
+)
+
+func windowCal(name string, windowTicks, threshold uint64) Calibration {
+	return Calibration{Name: name, Kind: KindWindow, WindowTicks: windowTicks, Threshold: threshold}
+}
+
+func TestEvaluateWindow(t *testing.T) {
+	cal1 := windowCal("w1", kernel.TicksPerSecond, 3)
+	cal2 := windowCal("w2", 2*kernel.TicksPerSecond, 3)
+
+	// Above threshold in one bucket: detected as the bucket completes.
+	evs := Evaluate("p", "t", map[uint64]uint64{0: 4}, []Calibration{cal1})
+	if len(evs) != 1 || evs[0].Tick != kernel.TicksPerSecond || evs[0].WindowRate != 4 {
+		t.Fatalf("burst events = %+v", evs)
+	}
+	if evs[0].Pipeline != "p" || evs[0].Target != "t" || evs[0].Detector != "w1" {
+		t.Fatalf("event labels = %+v", evs[0])
+	}
+
+	// Exactly at threshold: not above, no event.
+	if evs := Evaluate("p", "t", map[uint64]uint64{0: 3}, []Calibration{cal1}); len(evs) != 0 {
+		t.Fatalf("at-threshold events = %+v", evs)
+	}
+
+	// Spread across adjacent one-second windows: each window holds 2.
+	spread := map[uint64]uint64{0: 2, 1: 2}
+	if evs := Evaluate("p", "t", spread, []Calibration{cal1}); len(evs) != 0 {
+		t.Fatalf("spread misdetected at 1s window: %+v", evs)
+	}
+	// The 2-second window sums both buckets and trips as bucket 1 ends.
+	evs = Evaluate("p", "t", spread, []Calibration{cal2})
+	if len(evs) != 1 || evs[0].Tick != 2*kernel.TicksPerSecond || evs[0].WindowRate != 4 {
+		t.Fatalf("2s-window events = %+v", evs)
+	}
+
+	// Half-open window (b-w, b]: buckets exactly w apart never share one.
+	if evs := Evaluate("p", "t", map[uint64]uint64{0: 2, 2: 2}, []Calibration{cal2}); len(evs) != 0 {
+		t.Fatalf("half-open violated, w-apart buckets shared a window: %+v", evs)
+	}
+
+	// Empty series: nothing to detect.
+	if evs := Evaluate("p", "t", nil, DefaultCalibrations()); evs != nil {
+		t.Fatalf("empty-series events = %+v", evs)
+	}
+}
+
+func TestEvaluateEWMA(t *testing.T) {
+	cal := Calibration{Name: "e", Kind: KindEWMA, WindowTicks: kernel.TicksPerSecond, Threshold: 64, AlphaShift: 3}
+
+	// A single one-second spike of 500 smooths to 500/8 = 62(.5) < 64: the
+	// EWMA needs the rate sustained, unlike the sliding window.
+	if evs := Evaluate("p", "t", map[uint64]uint64{0: 500}, []Calibration{cal}); len(evs) != 0 {
+		t.Fatalf("single spike tripped the EWMA: %+v", evs)
+	}
+	// Two consecutive seconds at 500: the average reaches 117 and trips as
+	// the second bucket completes.
+	evs := Evaluate("p", "t", map[uint64]uint64{0: 500, 1: 500}, []Calibration{cal})
+	if len(evs) != 1 || evs[0].Tick != 2*kernel.TicksPerSecond || evs[0].WindowRate != 117 {
+		t.Fatalf("sustained-rate events = %+v", evs)
+	}
+	// A rate at the threshold converges to it from below and never crosses.
+	atLimit := make(map[uint64]uint64)
+	for b := uint64(0); b < 64; b++ {
+		atLimit[b] = 64
+	}
+	if evs := Evaluate("p", "t", atLimit, []Calibration{cal}); len(evs) != 0 {
+		t.Fatalf("at-threshold rate tripped the EWMA: %+v", evs)
+	}
+}
+
+func TestEvaluatePanelOrder(t *testing.T) {
+	// One hot series trips every default calibration; events follow
+	// calibration order with at most one event each.
+	evs := Evaluate("seh", "ie", map[uint64]uint64{0: 1000}, DefaultCalibrations())
+	if len(evs) != len(DefaultCalibrations()) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(DefaultCalibrations()), evs)
+	}
+	for i, cal := range DefaultCalibrations() {
+		if evs[i].Detector != cal.Name {
+			t.Errorf("event %d detector = %s, want %s", i, evs[i].Detector, cal.Name)
+		}
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	// The nginx recv/arg1 measurement: 1 probe, 1 fault, 774 virtual ticks.
+	row := Detectability{Primitive: "recv/arg1", Probes: 1, Faults: 1, Ticks: 774}
+	extrapolate(&row, DefaultCalibrations())
+	if row.FaultRate != 1291 {
+		t.Errorf("fault rate = %d, want 1291", row.FaultRate)
+	}
+	if row.StealthMargin != 64 {
+		t.Errorf("stealth margin = %d, want 64", row.StealthMargin)
+	}
+	// 2^20 reference probes at 64/s is 16384 virtual seconds.
+	if want := uint64(16384) * kernel.TicksPerSecond; row.StealthScanTicks != want {
+		t.Errorf("stealth scan = %d ticks, want %d", row.StealthScanTicks, want)
+	}
+	if len(row.Trips) != 3 {
+		t.Fatalf("trips = %+v, want all three default calibrations", row.Trips)
+	}
+	// The full-speed scan trips the window detectors when the 65th fault
+	// lands: ceil(65*774/1) ticks. The EWMA crosses after its first step.
+	for _, trip := range row.Trips[:2] {
+		if trip.Tick != 50310 {
+			t.Errorf("%s trip tick = %d, want 50310", trip.Detector, trip.Tick)
+		}
+	}
+	if ew := row.Trips[2]; ew.Detector != "ewma-alpha8" || ew.Tick != kernel.TicksPerSecond {
+		t.Errorf("ewma trip = %+v", ew)
+	}
+	if row.Undetectable {
+		t.Error("faulting row marked undetectable")
+	}
+
+	// No faults at all: the rate detector cannot see it at any speed.
+	clean := Detectability{Primitive: "epoll_wait/arg1", Probes: 10, Ticks: 500}
+	extrapolate(&clean, DefaultCalibrations())
+	if !clean.Undetectable || clean.FaultRate != 0 || len(clean.Trips) != 0 || clean.StealthMargin != 0 {
+		t.Errorf("no-fault row = %+v", clean)
+	}
+
+	// Degenerate totals: zero ticks and zero probes floor to 1 instead of
+	// dividing by zero.
+	degen := Detectability{Primitive: "x", Faults: 2}
+	extrapolate(&degen, DefaultCalibrations())
+	if degen.FaultRate != 2*kernel.TicksPerSecond {
+		t.Errorf("zero-tick fault rate = %d", degen.FaultRate)
+	}
+	if degen.StealthMargin != 32 {
+		t.Errorf("zero-probe margin = %d, want 32", degen.StealthMargin)
+	}
+}
+
+func TestBucketExc(t *testing.T) {
+	events := []trace.ExcEvent{
+		{Clock: 0, Code: vm.ExcAccessViolation},
+		{Clock: kernel.TicksPerSecond - 1, Code: vm.ExcAccessViolation},
+		{Clock: kernel.TicksPerSecond, Code: vm.ExcAccessViolation},
+		{Clock: 2*kernel.TicksPerSecond + kernel.TicksPerSecond/2, Code: vm.ExcAccessViolation},
+		{Clock: 10, Code: vm.ExcDivideByZero}, // not an AV: ignored
+	}
+	got := BucketExc(events)
+	want := map[uint64]uint64{0: 2, 1: 1, 2: 1}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for b, n := range want {
+		if got[b] != n {
+			t.Errorf("bucket %d = %d, want %d", b, got[b], n)
+		}
+	}
+	if BucketExc(nil) != nil {
+		t.Error("empty log should bucket to nil")
+	}
+}
+
+// TestDetectAccumulationKeepsRatios pins the fold-idempotence the
+// worker/cache invariance rests on: folding the same measurement n times
+// scales the totals but leaves every derived ratio — fault rate, stealth
+// margin, trip ticks — unchanged.
+func TestDetectAccumulationKeepsRatios(t *testing.T) {
+	one := NewDetect()
+	one.AddPrimitive("syscall", "nginx", "recv/arg1", 1, 1, 774, map[uint64]uint64{0: 1})
+
+	two := NewDetect()
+	for i := 0; i < 2; i++ {
+		two.AddPrimitive("syscall", "nginx", "recv/arg1", 1, 1, 774, map[uint64]uint64{0: 1})
+	}
+
+	r1 := one.Section("syscall", "nginx").Rows[0]
+	r2 := two.Section("syscall", "nginx").Rows[0]
+	if r2.Probes != 2*r1.Probes || r2.Faults != 2*r1.Faults || r2.Ticks != 2*r1.Ticks {
+		t.Errorf("totals did not sum: %+v vs %+v", r1, r2)
+	}
+	if r2.FaultRate != r1.FaultRate || r2.StealthMargin != r1.StealthMargin {
+		t.Errorf("ratios changed under accumulation: %+v vs %+v", r1, r2)
+	}
+	if len(r1.Trips) != len(r2.Trips) {
+		t.Fatalf("trip counts differ: %d vs %d", len(r1.Trips), len(r2.Trips))
+	}
+	for i := range r1.Trips {
+		if r1.Trips[i] != r2.Trips[i] {
+			t.Errorf("trip %d changed: %+v vs %+v", i, r1.Trips[i], r2.Trips[i])
+		}
+	}
+}
+
+// TestFoldSectionRoundTrip: rendering a section and folding it into a fresh
+// observer reproduces the snapshot byte for byte.
+func TestFoldSectionRoundTrip(t *testing.T) {
+	src := NewDetect()
+	src.AddPrimitive("seh", "ie", "mshtml.dll/scope-2", 25, 25, 2*kernel.TicksPerSecond, nil)
+	src.AddPrimitive("seh", "ie", "user32.dll/scope-0", 40, 40, kernel.TicksPerSecond, map[uint64]uint64{0: 40})
+	src.AddSeries("seh", "ie", map[uint64]uint64{0: 70, 1: 70})
+	src.AddBaseline("seh", "ie", "browse", 3, 5*kernel.TicksPerSecond, map[uint64]uint64{1: 3})
+
+	dst := NewDetect()
+	dst.FoldSection(src.Section("seh", "ie"))
+
+	var a, b bytes.Buffer
+	if err := src.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("fold round trip diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Nil section and nil observer are no-ops, not panics.
+	dst.FoldSection(nil)
+	(*Detect)(nil).FoldSection(src.Section("seh", "ie"))
+	(*Detect)(nil).AddPrimitive("p", "t", "x", 1, 1, 1, nil)
+	if (*Detect)(nil).Section("p", "t") != nil {
+		t.Error("nil observer rendered a section")
+	}
+	if rep := (*Detect)(nil).Snapshot(); rep == nil || rep.Sections == nil || len(rep.Sections) != 0 {
+		t.Errorf("nil observer snapshot = %+v", rep)
+	}
+}
+
+// TestSnapshotStable: insertion order never leaks into the report — two
+// observers fed the same data in different orders marshal identically, and
+// Sections is [] (never null) when empty.
+func TestSnapshotStable(t *testing.T) {
+	feed := func(d *Detect, reverse bool) {
+		adds := []func(){
+			func() { d.AddPrimitive("syscall", "nginx", "recv/arg1", 1, 1, 774, nil) },
+			func() { d.AddPrimitive("api", "ie", "VirtualQuery", 4, 4, 8, nil) },
+			func() { d.AddSeries("api", "ie", map[uint64]uint64{0: 56}) },
+			func() { d.AddBaseline("syscall", "nginx", "observe", 0, 1000, nil) },
+		}
+		if reverse {
+			for i := len(adds) - 1; i >= 0; i-- {
+				adds[i]()
+			}
+		} else {
+			for _, f := range adds {
+				f()
+			}
+		}
+	}
+	fwd, rev := NewDetect(), NewDetect()
+	feed(fwd, false)
+	feed(rev, true)
+	fj, err := json.Marshal(fwd.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(rev.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fj, rj) {
+		t.Errorf("insertion order changed the snapshot:\n%s\nvs\n%s", fj, rj)
+	}
+
+	empty, err := json.Marshal(NewDetect().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != `{"schema":"crashresist/detect/v1","sections":[]}` {
+		t.Errorf("empty snapshot = %s", empty)
+	}
+}
+
+// FuzzRateDetector drives the window and EWMA detectors with arbitrary
+// event streams and calibrations: no input may panic, Detect must agree
+// with Peak, and for the window detector the detection tick must be
+// monotone in the threshold — a stricter detector can only fire later (or
+// not at all), never earlier.
+func FuzzRateDetector(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint64(1_000_000), uint64(3), uint64(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint64(100), uint64(0), uint64(1))
+	f.Add([]byte{255, 1, 255, 1, 9}, uint64(8_000_000), uint64(64), uint64(64))
+	f.Add([]byte{}, uint64(0), uint64(5), uint64(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, window, threshold, delta uint64) {
+		// Bound the knobs: thresholds stay clear of the EWMA fixed-point
+		// shift overflow, the window stays inside the bucket span the
+		// synthesized clocks can reach.
+		threshold %= 1 << 40
+		hi := threshold + delta%(1<<16) + 1
+		window = window%(16*kernel.TicksPerSecond) + 1
+
+		// Synthesize a monotone event stream: each byte advances the clock
+		// and its low bit picks the exception code. The cap bounds the
+		// virtual-time span so the EWMA's bucket walk stays fast.
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		var clock uint64
+		events := make([]trace.ExcEvent, 0, len(data))
+		for _, b := range data {
+			clock += uint64(b) * 50_000
+			code := vm.ExcAccessViolation
+			if b&1 == 1 {
+				code = vm.ExcDivideByZero
+			}
+			events = append(events, trace.ExcEvent{Clock: clock, Code: code})
+		}
+
+		det := RateDetector{Window: window, Threshold: threshold}
+		peak := det.Peak(events)
+		if det.Detect(events) != (peak > threshold) {
+			t.Fatalf("Detect disagrees with Peak %d at threshold %d", peak, threshold)
+		}
+		// A stricter detector never flags what a looser one misses.
+		if (RateDetector{Window: window, Threshold: hi}).Detect(events) && !det.Detect(events) {
+			t.Fatalf("threshold %d detected but %d did not (peak %d)", hi, threshold, peak)
+		}
+
+		series := BucketExc(events)
+		for _, kind := range []string{KindWindow, KindEWMA} {
+			loose := Calibration{Name: "lo", Kind: kind, WindowTicks: window, Threshold: threshold, AlphaShift: 3}
+			strict := Calibration{Name: "hi", Kind: kind, WindowTicks: window, Threshold: hi, AlphaShift: 3}
+			evs := Evaluate("fuzz", "fuzz", series, []Calibration{loose, strict})
+			byName := make(map[string]DetectionEvent, len(evs))
+			for _, ev := range evs {
+				byName[ev.Detector] = ev
+			}
+			evHi, hiTripped := byName["hi"]
+			evLo, loTripped := byName["lo"]
+			if hiTripped {
+				if !loTripped {
+					t.Fatalf("%s: threshold %d tripped but %d did not", kind, hi, threshold)
+				}
+				if evLo.Tick > evHi.Tick {
+					t.Fatalf("%s: detection tick not monotone: t(%d)=%d > t(%d)=%d",
+						kind, threshold, evLo.Tick, hi, evHi.Tick)
+				}
+			}
+		}
+	})
+}

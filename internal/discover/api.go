@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crashresist/internal/cas"
+	"crashresist/internal/defense"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/fuzz"
 	"crashresist/internal/isa"
@@ -167,6 +168,11 @@ type APIAnalyzer struct {
 	// attribution (see internal/prof). Profiling never touches report
 	// contents.
 	Profile *prof.Profile
+	// Detect, when non-nil, receives the run's detection inputs: the
+	// instrumented browse as benign baseline and each crash-resistant
+	// API's fuzzing battery as a detectability row. Never touches report
+	// rows — the rendered section rides RunStats.
+	Detect *defense.Detect
 }
 
 // Analyze runs fuzzing, call-site harvesting, context filtering and
@@ -189,6 +195,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	}
 	col := newRunCollector("api", br.Name, a.Workers, a.Progress, a.Sinks)
 	rp := newRunProf(a.Profile, "api", br.Name)
+	rd := newRunDetect(a.Detect, "api", br.Name)
 	res := newResilience(br.Name, a.FaultPlan, a.Retries, col, rp)
 	rc := runCache{col: col, rp: rp}
 	if a.FaultPlan == nil {
@@ -239,6 +246,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 					harvestVMStats(col, ent.Stats)
 					span.Observe(ent.Stats.Instructions)
 					profileFuzz(rp, ptrAPIs[i].Name, ent)
+					detectFuzz(rd, ent)
 					results[i] = ent
 					return nil
 				}
@@ -256,6 +264,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			// job's deterministic cost.
 			span.Observe(fres.Stats.Instructions)
 			profileFuzz(rp, ptrAPIs[i].Name, fres)
+			detectFuzz(rd, fres)
 			results[i] = fres
 			return nil
 		})
@@ -293,7 +302,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 	span = col.StartStage("harvest", 0)
 	var obs *browseObservation
 	err = res.run(ctx, "harvest", br.Name, 0, func(int) error {
-		o, err := a.observeBrowse(br, col, span, rp)
+		o, err := a.observeBrowse(br, col, span, rp, rd)
 		if err != nil {
 			return err
 		}
@@ -412,6 +421,7 @@ func (a *APIAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		report.Provenance = append(report.Provenance, PrimitiveProvenance{Primitive: cls.API, Chain: chain})
 	}
 	report.Degraded = res.take()
+	rd.finish(col)
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)
@@ -489,6 +499,30 @@ func profileFuzz(rp runProf, api string, res fuzz.FuncResult) {
 	}
 }
 
+// detectFuzz folds one crash-resistant API's fuzzing battery into its
+// detectability row: every battery probe is one oracle query, and every
+// ErrInvalidPointer return is a kernel-validated rejection — the Windows
+// analogue of an EFAULT return, and exactly what a kernel-boundary
+// defender counts (crash-resistant APIs raise no user-mode fault). The
+// harness processes each start at virtual clock zero, so their rejections
+// land in the run stream's first virtual second. Inputs come from the
+// cache entry, so cold computes and warm replays fold identical rows.
+func detectFuzz(rd runDetect, res fuzz.FuncResult) {
+	if !rd.on() || !res.CrashResistant {
+		return
+	}
+	var faults uint64
+	for _, pr := range res.Probes {
+		if pr.Outcome == fuzz.OutcomeGraceful && pr.Ret == winapi.ErrInvalidPointer {
+			faults++
+		}
+	}
+	rd.primitive(res.Name, uint64(len(res.Probes)), faults, res.Stats.Instructions, nil)
+	if faults > 0 {
+		rd.series(map[uint64]uint64{0: faults})
+	}
+}
+
 // profileClassify charges one classification job's replay cost, identically
 // for cold computes and warm cache replays (the entry persists the cost).
 func profileClassify(rp runProf, api string, cost classifyCost) {
@@ -499,7 +533,7 @@ func profileClassify(rp runProf, api string, cost classifyCost) {
 }
 
 // observeBrowse runs one instrumented browse.
-func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector, span *metrics.Stage, rp runProf) (*browseObservation, error) {
+func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector, span *metrics.Stage, rp runProf, rd runDetect) (*browseObservation, error) {
 	env, err := br.NewEnv(a.Seed)
 	if err != nil {
 		return nil, err
@@ -511,6 +545,9 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector,
 	rec := trace.NewRecorder()
 	rec.EnableAPIHarvest()
 	rec.AddContextModule("jscript9.dll")
+	if rd.on() {
+		rec.EnableExceptionLog()
+	}
 
 	obs := &browseObservation{
 		called: make(map[string]bool),
@@ -529,6 +566,15 @@ func (a *APIAnalyzer) observeBrowse(br *targets.Browser, col *metrics.Collector,
 	harvestVMStats(col, env.Proc.Stats)
 	rp.add("harvest", "browse", prof.KindClockTicks, env.Proc.Clock)
 	rp.add("harvest", "browse", prof.KindVMInstructions, env.Proc.Stats.Instructions)
+	if rd.on() {
+		series := defense.BucketExc(rec.Exceptions())
+		var faults uint64
+		for _, n := range series {
+			faults += n
+		}
+		rd.baseline("browse", faults, env.Proc.Clock, series)
+		rd.series(series)
+	}
 	if browseErr != nil {
 		return nil, browseErr
 	}

@@ -8,6 +8,7 @@ import (
 
 	"crashresist/internal/bin"
 	"crashresist/internal/cas"
+	"crashresist/internal/defense"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/metrics"
 	"crashresist/internal/prof"
@@ -120,6 +121,11 @@ type SEHAnalyzer struct {
 	// attribution (see internal/prof). Profiling never touches report
 	// contents.
 	Profile *prof.Profile
+	// Detect, when non-nil, receives the run's detection inputs: the
+	// instrumented browse's exception log as benign baseline and each
+	// on-path candidate's trigger census as a detectability row. Never
+	// touches report rows — the rendered section rides RunStats.
+	Detect *defense.Detect
 
 	// CacheStats holds the symex cache counters of the last Analyze call.
 	CacheStats sym.CacheStats
@@ -162,6 +168,7 @@ func (a *SEHAnalyzer) Analyze(br *targets.Browser) (*SEHReport, error) {
 func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (*SEHReport, error) {
 	col := newRunCollector("seh", br.Name, a.Workers, a.Progress, a.Sinks)
 	rp := newRunProf(a.Profile, "seh", br.Name)
+	rd := newRunDetect(a.Detect, "seh", br.Name)
 	res := newResilience(br.Name, a.FaultPlan, a.Retries, col, rp)
 	rc := runCache{col: col, rp: rp}
 	if a.FaultPlan == nil {
@@ -188,6 +195,9 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 		e.Proc.FaultPlan = a.FaultPlan
 		rec := trace.NewRecorder()
 		rec.EnableCoverage()
+		if rd.on() {
+			rec.EnableExceptionLog()
+		}
 		rec.Attach(e.Proc)
 
 		if err := e.Start(); err != nil {
@@ -202,6 +212,15 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			return browseErr
 		}
 		env, hits = e, rec.ScopeHits()
+		if rd.on() {
+			series := defense.BucketExc(rec.Exceptions())
+			var faults uint64
+			for _, n := range series {
+				faults += n
+			}
+			rd.baseline("browse", faults, e.Proc.Clock, series)
+			rd.series(series)
+		}
 		return nil
 	})
 	span.End()
@@ -393,7 +412,17 @@ func (a *SEHAnalyzer) AnalyzeContext(ctx context.Context, br *targets.Browser) (
 			},
 		})
 	}
+	// Detectability rows: each on-path candidate, driven as an oracle,
+	// raises one absorbed AV per probe; the browse-measured trigger census
+	// is the row's probe loop.
+	if rd.on() && env != nil {
+		for _, c := range report.Candidates {
+			rd.primitive(fmt.Sprintf("%s/scope-%d", c.Module, c.Scope),
+				c.Hits, c.Hits, env.Proc.Clock, nil)
+		}
+	}
 	report.Degraded = res.take()
+	rd.finish(col)
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", br.Name, err)

@@ -25,6 +25,7 @@ import (
 
 	"crashresist/internal/bin"
 	"crashresist/internal/cas"
+	"crashresist/internal/defense"
 	"crashresist/internal/faultinject"
 	"crashresist/internal/isa"
 	"crashresist/internal/kernel"
@@ -238,6 +239,11 @@ type SyscallAnalyzer struct {
 	// attribution (see internal/prof). Profiling never touches report
 	// contents.
 	Profile *prof.Profile
+	// Detect, when non-nil, receives the run's detection inputs: the
+	// benign observe phase as baseline, each validation replay's fault
+	// series and per-primitive probe costs. Like Profile, it never
+	// touches report rows — the rendered section rides RunStats.
+	Detect *defense.Detect
 }
 
 // AnalyzeAll runs the pipeline for every server, fanning the servers out
@@ -282,6 +288,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 	}
 	col := newRunCollector("syscall", srv.Name, a.Workers, a.Progress, a.Sinks)
 	rp := newRunProf(a.Profile, "syscall", srv.Name)
+	rd := newRunDetect(a.Detect, "syscall", srv.Name)
 	res := newResilience(srv.Name, a.FaultPlan, a.Retries, col, rp)
 	rc := runCache{col: col, rp: rp}
 	var srvImage []byte
@@ -300,7 +307,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		candidates []Candidate
 	)
 	err := res.run(ctx, "observe", srv.Name, 0, func(int) error {
-		o, c, err := a.observe(srv, col, rp)
+		o, c, err := a.observe(srv, col, rp, rd)
 		if err != nil {
 			return err
 		}
@@ -357,6 +364,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 					harvestVMStats(col, ent.Cost.Stats)
 					harvestKernelCounts(col, ent.Cost.Kernel)
 					profileValidate(rp, jobKey, ent.Cost)
+					detectValidate(rd, cand, ent.Cost)
 					findings[i] = ent.Finding
 					return nil
 				}
@@ -370,6 +378,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 			harvestVMStats(col, cost.Stats)
 			harvestKernelCounts(col, cost.Kernel)
 			profileValidate(rp, jobKey, cost)
+			detectValidate(rd, cand, cost)
 			if haveKey {
 				rc.put(casFamilyValidate, key, validateEntry{Finding: finding, Cost: cost}, "validate", jobKey)
 			}
@@ -417,6 +426,7 @@ func (a *SyscallAnalyzer) AnalyzeContext(ctx context.Context, srv *targets.Serve
 		})
 	}
 	report.Degraded = res.take()
+	rd.finish(col)
 	stats, err := col.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("flush metrics %s: %w", srv.Name, err)
@@ -432,10 +442,29 @@ func profileValidate(rp runProf, jobKey string, cost validateCost) {
 	rp.add("validate", jobKey, prof.KindVMInstructions, cost.Stats.Instructions)
 }
 
+// detectValidate feeds one validation replay into the detection engine,
+// identically for cold computes and warm cache replays: the corrupted
+// invocations that returned -EFAULT are the primitive's probes, the
+// replay's virtual clock their measured cost, and the kernel's bucket
+// series both the row profile and part of the run-level stream.
+func detectValidate(rd runDetect, cand Candidate, cost validateCost) {
+	if !rd.on() {
+		return
+	}
+	faults := cost.Kernel.EFAULTReturns
+	probes := faults
+	if probes == 0 {
+		probes = 1
+	}
+	primitive := fmt.Sprintf("%s/arg%d", cand.Syscall, cand.ArgIndex)
+	rd.primitive(primitive, probes, faults, cost.Clock, cost.Kernel.EFAULTBuckets)
+	rd.series(cost.Kernel.EFAULTBuckets)
+}
+
 // observe runs the suite once under taint tracking, collecting observed
 // EFAULT-capable syscalls and corruptible-pointer candidates. The run is
 // the "taint" span; candidate distillation afterwards is "candidate".
-func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector, rp runProf) (map[string]bool, []Candidate, error) {
+func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector, rp runProf, rd runDetect) (map[string]bool, []Candidate, error) {
 	env, err := srv.NewEnvNoStart(a.Seed)
 	if err != nil {
 		return nil, nil, err
@@ -485,19 +514,27 @@ func (a *SyscallAnalyzer) observe(srv *targets.Server, col *metrics.Collector, r
 		// A server that cannot even boot yields an empty observation.
 		span.Observe(env.Proc.Clock)
 		span.End()
+		counts := env.Kern.Counts()
 		harvestVMStats(col, env.Proc.Stats)
-		harvestKernelCounts(col, env.Kern.Counts())
+		harvestKernelCounts(col, counts)
 		rp.add("taint", "suite", prof.KindClockTicks, env.Proc.Clock)
 		rp.add("taint", "suite", prof.KindVMInstructions, env.Proc.Stats.Instructions)
+		rd.baseline("observe", counts.EFAULTReturns, env.Proc.Clock, counts.EFAULTBuckets)
+		rd.series(counts.EFAULTBuckets)
 		return observed, nil, nil
 	}
 	suiteErr := srv.Suite(env)
 	span.Observe(env.Proc.Clock)
 	span.End()
+	counts := env.Kern.Counts()
 	harvestVMStats(col, env.Proc.Stats)
-	harvestKernelCounts(col, env.Kern.Counts())
+	harvestKernelCounts(col, counts)
 	rp.add("taint", "suite", prof.KindClockTicks, env.Proc.Clock)
 	rp.add("taint", "suite", prof.KindVMInstructions, env.Proc.Stats.Instructions)
+	// The uncorrupted suite run is the pipeline's benign baseline: what
+	// the defender sees when no one is probing.
+	rd.baseline("observe", counts.EFAULTReturns, env.Proc.Clock, counts.EFAULTBuckets)
+	rd.series(counts.EFAULTBuckets)
 	if suiteErr != nil {
 		return nil, nil, suiteErr
 	}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crashresist/internal/defense"
+)
+
+// detectRun builds a RunStats carrying a detection section: one hot
+// primitive (the empirical nginx recv/arg1 anchor: 1 fault in 774 ticks),
+// a live fault series loud enough to trip every default calibration, and a
+// clean benign baseline.
+func detectRun() *RunStats {
+	return &RunStats{
+		Pipeline: "syscall",
+		Target:   "nginx",
+		Detect: &defense.Section{
+			Pipeline: "syscall",
+			Target:   "nginx",
+			Rows: []defense.Detectability{
+				{Primitive: "recv/arg1", Probes: 1, Faults: 1, Ticks: 774},
+			},
+			Series:   map[uint64]uint64{0: 1000},
+			Baseline: &defense.Baseline{Phase: "observe", Faults: 0, Ticks: 1000},
+		},
+	}
+}
+
+func TestDetectionFamilies(t *testing.T) {
+	g := NewRegistry()
+	if err := g.Flush(detectRun()); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE crashresist_detections_total counter",
+		`crashresist_detections_total{pipeline="syscall",target="nginx",detector="vii-c-default"} 1`,
+		`crashresist_detections_total{pipeline="syscall",target="nginx",detector="window-8s"} 1`,
+		`crashresist_detections_total{pipeline="syscall",target="nginx",detector="ewma-alpha8"} 1`,
+		"# TYPE crashresist_stealth_margin_probes_per_sec summary",
+		`crashresist_stealth_margin_probes_per_sec{pipeline="syscall",target="nginx",quantile="0"} 64`,
+		`crashresist_stealth_margin_probes_per_sec{pipeline="syscall",target="nginx",quantile="0.5"} 64`,
+		`crashresist_stealth_margin_probes_per_sec{pipeline="syscall",target="nginx",quantile="1"} 64`,
+		`crashresist_stealth_margin_probes_per_sec_sum{pipeline="syscall",target="nginx"} 64`,
+		`crashresist_stealth_margin_probes_per_sec_count{pipeline="syscall",target="nginx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Detector names render in sorted order so the exposition is stable.
+	ewma := strings.Index(out, `detector="ewma-alpha8"`)
+	def := strings.Index(out, `detector="vii-c-default"`)
+	w8 := strings.Index(out, `detector="window-8s"`)
+	if !(ewma < def && def < w8) {
+		t.Errorf("detector series out of sorted order: ewma@%d default@%d window-8s@%d", ewma, def, w8)
+	}
+}
+
+// TestDetectionFamiliesCleanRun: a defended run with no trips still emits
+// zero-valued detection series per calibration, so "defended and clean" is
+// distinguishable from "not defended" on /metrics.
+func TestDetectionFamiliesCleanRun(t *testing.T) {
+	g := NewRegistry()
+	stats := &RunStats{
+		Pipeline: "syscall",
+		Target:   "lighttpd",
+		Detect: &defense.Section{
+			Pipeline: "syscall",
+			Target:   "lighttpd",
+			Rows:     []defense.Detectability{{Primitive: "open/arg0", Probes: 1, Faults: 0, Ticks: 125}},
+			Baseline: &defense.Baseline{Phase: "observe", Faults: 0, Ticks: 532},
+		},
+	}
+	if err := g.Flush(stats); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`crashresist_detections_total{pipeline="syscall",target="lighttpd",detector="vii-c-default"} 0`,
+		`crashresist_detections_total{pipeline="syscall",target="lighttpd",detector="window-8s"} 0`,
+		`crashresist_detections_total{pipeline="syscall",target="lighttpd",detector="ewma-alpha8"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean run missing zero-valued series %q:\n%s", want, out)
+		}
+	}
+	// The only row is undetectable: no stealth-margin summary for it.
+	if strings.Contains(out, `crashresist_stealth_margin_probes_per_sec{pipeline="syscall",target="lighttpd"`) {
+		t.Errorf("stealth summary emitted for an all-undetectable section:\n%s", out)
+	}
+}
+
+// TestDetectionAccumulatesAcrossFlushes: folding the same run twice doubles
+// the live series, so the trip counts stay at one trip per calibration
+// (first crossing only) while the folded totals double.
+func TestDetectionAccumulatesAcrossFlushes(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < 2; i++ {
+		if err := g.Flush(detectRun()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := g.DetectReport()
+	if len(rep.Sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(rep.Sections))
+	}
+	sec := rep.Sections[0]
+	if len(sec.Rows) != 1 || sec.Rows[0].Probes != 2 || sec.Rows[0].Faults != 2 || sec.Rows[0].Ticks != 1548 {
+		t.Errorf("row totals did not double: %+v", sec.Rows)
+	}
+	if sec.Rows[0].StealthMargin != 64 {
+		t.Errorf("stealth margin drifted under accumulation: %d", sec.Rows[0].StealthMargin)
+	}
+	if sec.Series[0] != 2000 {
+		t.Errorf("live series not accumulated: %v", sec.Series)
+	}
+	if len(sec.Events) != 3 {
+		t.Errorf("live events = %+v, want one per calibration", sec.Events)
+	}
+}
+
+func TestDefenseEndpoint(t *testing.T) {
+	g := NewRegistry()
+	if err := g.Flush(detectRun()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/defense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/defense content type = %q", ct)
+	}
+	var rep defense.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("/defense is not report JSON: %v\n%s", err, body)
+	}
+	if rep.Schema != defense.DetectSchema {
+		t.Errorf("/defense schema = %q", rep.Schema)
+	}
+	if len(rep.Sections) != 1 || rep.Sections[0].Target != "nginx" {
+		t.Errorf("/defense sections = %+v", rep.Sections)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/defense?format=top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	for _, want := range []string{
+		"== detect: syscall/nginx ==",
+		"baseline observe",
+		"clean",
+		"recv/arg1",
+		"vii-c-default@",
+	} {
+		if !strings.Contains(string(top), want) {
+			t.Errorf("/defense?format=top missing %q:\n%s", want, top)
+		}
+	}
+}
+
+// TestDefenseEndpointEmpty: a registry with no detection data still serves
+// a valid empty report, never a 404 or a null body.
+func TestDefenseEndpointEmpty(t *testing.T) {
+	srv := httptest.NewServer(NewRegistry().Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/defense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var rep defense.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("empty /defense not valid JSON: %v\n%s", err, body)
+	}
+	if rep.Schema != defense.DetectSchema || rep.Sections == nil || len(rep.Sections) != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}

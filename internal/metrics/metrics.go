@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crashresist/internal/defense"
 )
 
 // Counter identifies one monotonically increasing run counter.
@@ -83,6 +85,9 @@ const (
 	// CtrCacheBytes counts persistent-cache entry bytes transferred:
 	// read on hits plus written on stores.
 	CtrCacheBytes
+	// CtrDetections counts detection events raised by the defense
+	// engine's calibration panel over the run's fault streams.
+	CtrDetections
 
 	numCounters
 )
@@ -132,6 +137,11 @@ func (c Counter) String() string {
 		return "cache_bad_entries"
 	case CtrCacheBytes:
 		return "cache_bytes"
+	case CtrDetections:
+		// "detection_events" keeps the plain {pipeline,target} counter
+		// family distinct from crashresist_detections_total, which the
+		// registry renders with a detector label from folded sections.
+		return "detection_events"
 	default:
 		return fmt.Sprintf("counter_%d", uint8(c))
 	}
@@ -148,6 +158,9 @@ const (
 	StageProgress
 	// StageEnd fires when a stage finishes.
 	StageEnd
+	// StageDetection fires when a defense detector trips; the event
+	// carries the typed DetectionEvent record.
+	StageDetection
 )
 
 // String returns the kind's stable wire name.
@@ -159,6 +172,8 @@ func (k EventKind) String() string {
 		return "progress"
 	case StageEnd:
 		return "end"
+	case StageDetection:
+		return "detection"
 	default:
 		return fmt.Sprintf("kind_%d", uint8(k))
 	}
@@ -172,7 +187,7 @@ func (k EventKind) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON decodes a kind from its string name.
 func (k *EventKind) UnmarshalJSON(b []byte) error {
 	s := strings.Trim(string(b), `"`)
-	for _, v := range []EventKind{StageBegin, StageProgress, StageEnd} {
+	for _, v := range []EventKind{StageBegin, StageProgress, StageEnd, StageDetection} {
 		if v.String() == s {
 			*k = v
 			return nil
@@ -196,6 +211,9 @@ type StageEvent struct {
 	Done int `json:"done"`
 	// Total is the job count of the stage (0 when not job-structured).
 	Total int `json:"total"`
+	// Detection carries the typed detector verdict on StageDetection
+	// events; nil otherwise.
+	Detection *defense.DetectionEvent `json:"detection,omitempty"`
 }
 
 // StageStats is the completed record of one pipeline stage.
@@ -240,6 +258,13 @@ type RunStats struct {
 	// clock, summed across all analyzed processes. Deterministic for a
 	// fixed seed at any worker count (bucket sums commute).
 	FaultEvents map[uint64]uint64 `json:"fault_events,omitempty"`
+	// Detect is the run's detection record — the defense engine's
+	// per-primitive detectability rows, benign baseline, and the
+	// detections raised over the run's fault streams. Stats-adjacent like
+	// everything else here: report formatters never read it, so golden
+	// table bytes are identical with detection on or off. Deterministic
+	// for a fixed request at any worker count and cache state.
+	Detect *defense.Section `json:"detect,omitempty"`
 	// WallNS is the whole run's wall-clock duration. Non-deterministic.
 	WallNS int64 `json:"wall_ns"`
 }
@@ -316,6 +341,7 @@ type Collector struct {
 
 	mu           sync.Mutex
 	faultEvents  map[uint64]uint64
+	detect       *defense.Section
 	stages       []StageStats
 	stageSeq     int
 	spans        []Span
@@ -389,6 +415,27 @@ func (c *Collector) AddFaultEvents(buckets map[uint64]uint64) {
 		c.faultEvents[b] += n
 	}
 	c.mu.Unlock()
+}
+
+// SetDetect attaches the run's detection record so the final RunStats
+// carries it to sinks and report stats. Call before Finish.
+func (c *Collector) SetDetect(sec *defense.Section) {
+	if c == nil || sec == nil {
+		return
+	}
+	c.mu.Lock()
+	c.detect = sec
+	c.mu.Unlock()
+}
+
+// Detection emits one typed detector verdict into the live event stream
+// (progress callback + sinks) and counts it in CtrDetections.
+func (c *Collector) Detection(ev defense.DetectionEvent) {
+	if c == nil {
+		return
+	}
+	c.Add(CtrDetections, 1)
+	c.emit(StageEvent{Stage: "detect", Kind: StageDetection, Detection: &ev})
 }
 
 // emit delivers one event to the progress callback and sinks, serialized.
@@ -526,6 +573,7 @@ func (c *Collector) Snapshot() *RunStats {
 	wall := time.Since(c.start).Nanoseconds()
 	c.mu.Lock()
 	faults := maps.Clone(c.faultEvents)
+	detect := c.detect
 	stages := append([]StageStats(nil), c.stages...)
 	spans := make([]Span, 0, len(c.spans)+2)
 	spans = append(spans,
@@ -544,6 +592,7 @@ func (c *Collector) Snapshot() *RunStats {
 		Spans:        spans,
 		SpansDropped: dropped,
 		FaultEvents:  faults,
+		Detect:       detect,
 		WallNS:       wall,
 	}
 }

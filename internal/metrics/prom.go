@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"crashresist/internal/defense"
 	"crashresist/internal/prof"
 )
 
@@ -48,6 +49,10 @@ type Registry struct {
 	faults   map[promLabels]map[uint64]uint64
 	recent   *Ring[*RunStats]
 	profile  *prof.Profile
+	// detect folds every flushed run's detection section (RunStats.Detect)
+	// so /defense and the detection families serve a process-wide view.
+	// It carries its own lock; fold and snapshot calls happen outside mu.
+	detect *defense.Detect
 }
 
 // NewRegistry returns an empty registry.
@@ -59,7 +64,17 @@ func NewRegistry() *Registry {
 		hists:    make(map[promStageLabels]*HistSnapshot),
 		faults:   make(map[promLabels]map[uint64]uint64),
 		recent:   NewRing[*RunStats](tracedRuns),
+		detect:   defense.NewDetect(),
 	}
+}
+
+// DetectReport snapshots the detectability report folded from every
+// flushed run that carried a detection section; empty when none did.
+func (g *Registry) DetectReport() *defense.Report {
+	if g == nil {
+		return defense.NewDetect().Snapshot()
+	}
+	return g.detect.Snapshot()
 }
 
 // SetProfile attaches the cost profile served on /profile. The registry
@@ -92,6 +107,7 @@ func (g *Registry) Flush(stats *RunStats) error {
 	if g == nil || stats == nil {
 		return nil
 	}
+	g.detect.FoldSection(stats.Detect)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	key := promLabels{pipeline: stats.Pipeline, target: stats.Target}
@@ -264,6 +280,7 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "crashresist_fault_events_total{%s,tick_bucket=\"%d\"} %d\n", f.labels, f.bucket, f.v)
 		}
 	}
+	g.writeDetectFamilies(&b)
 	if len(hists) > 0 {
 		b.WriteString("# HELP crashresist_stage_latency_ticks Per-job virtual-cost distribution by stage (deterministic ticks).\n")
 		b.WriteString("# TYPE crashresist_stage_latency_ticks summary\n")
@@ -294,11 +311,78 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// writeDetectFamilies renders the detection families from the folded
+// sections: trip counts per detector calibration (live stream plus benign
+// baseline) and a per-target summary of the primitives' stealth margins
+// (the max probe rate evading the default detector). Sections without trips
+// still emit a zero-valued detections series per calibration, so a clean
+// defended run is distinguishable from an undefended one.
+func (g *Registry) writeDetectFamilies(b *strings.Builder) {
+	rep := g.detect.Snapshot()
+	if len(rep.Sections) == 0 {
+		return
+	}
+	b.WriteString("# HELP crashresist_detections_total Detection-engine trips over the run fault streams, by detector calibration.\n")
+	b.WriteString("# TYPE crashresist_detections_total counter\n")
+	for _, sec := range rep.Sections {
+		trips := make(map[string]uint64, len(sec.Calibrations))
+		for _, cal := range sec.Calibrations {
+			trips[cal.Name] = 0
+		}
+		for _, ev := range sec.Events {
+			trips[ev.Detector]++
+		}
+		if sec.Baseline != nil {
+			for _, ev := range sec.Baseline.Events {
+				trips[ev.Detector]++
+			}
+		}
+		names := make([]string, 0, len(trips))
+		for name := range trips {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(b, "crashresist_detections_total{pipeline=%q,target=%q,detector=%q} %d\n",
+				sec.Pipeline, sec.Target, name, trips[name])
+		}
+	}
+	headerDone := false
+	for _, sec := range rep.Sections {
+		var margins []uint64
+		var sum uint64
+		for _, row := range sec.Rows {
+			if row.Undetectable {
+				continue
+			}
+			margins = append(margins, row.StealthMargin)
+			sum += row.StealthMargin
+		}
+		if len(margins) == 0 {
+			continue
+		}
+		if !headerDone {
+			b.WriteString("# HELP crashresist_stealth_margin_probes_per_sec Max probe rate (probes per virtual second) at which a primitive evades the default detector; summary over a target's detectable primitives.\n")
+			b.WriteString("# TYPE crashresist_stealth_margin_probes_per_sec summary\n")
+			headerDone = true
+		}
+		sort.Slice(margins, func(i, j int) bool { return margins[i] < margins[j] })
+		labels := fmt.Sprintf(`pipeline=%q,target=%q`, sec.Pipeline, sec.Target)
+		fmt.Fprintf(b, "crashresist_stealth_margin_probes_per_sec{%s,quantile=\"0\"} %d\n", labels, margins[0])
+		fmt.Fprintf(b, "crashresist_stealth_margin_probes_per_sec{%s,quantile=\"0.5\"} %d\n", labels, margins[len(margins)/2])
+		fmt.Fprintf(b, "crashresist_stealth_margin_probes_per_sec{%s,quantile=\"1\"} %d\n", labels, margins[len(margins)-1])
+		fmt.Fprintf(b, "crashresist_stealth_margin_probes_per_sec_sum{%s} %d\n", labels, sum)
+		fmt.Fprintf(b, "crashresist_stealth_margin_probes_per_sec_count{%s} %d\n", labels, len(margins))
+	}
+}
+
 // Handler returns the live serving surface: /metrics (Prometheus text),
 // /profile (the attached cost profile: JSON by default,
 // ?format=folded for flamegraph.pl input, ?format=top for the ranked
-// report), /trace.json (Chrome trace of the recent runs), /debug/vars
-// (expvar), /debug/pprof (runtime profiles) and /healthz.
+// report), /defense (the folded detectability report: JSON by default,
+// ?format=top for the ranked text view), /trace.json (Chrome trace of the
+// recent runs), /debug/vars (expvar), /debug/pprof (runtime profiles) and
+// /healthz.
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -317,6 +401,17 @@ func (g *Registry) Handler() http.Handler {
 		default:
 			w.Header().Set("Content-Type", "application/json")
 			snap.WriteJSON(w)
+		}
+	})
+	mux.HandleFunc("/defense", func(w http.ResponseWriter, r *http.Request) {
+		rep := g.DetectReport()
+		switch r.URL.Query().Get("format") {
+		case "top":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rep.WriteTop(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			rep.WriteJSON(w)
 		}
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {

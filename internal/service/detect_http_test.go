@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"crashresist"
+)
+
+// TestSSEDetectionReplay: detection events a runner streams mid-run are
+// buffered and replayed to a subscriber who connects only after the job is
+// done, with the typed Detection payload intact.
+func TestSSEDetectionReplay(t *testing.T) {
+	runner := func(ctx context.Context, req crashresist.Request) (*crashresist.Result, error) {
+		if req.Progress == nil {
+			t.Error("service did not wire the job's progress callback")
+		} else {
+			req.Progress(crashresist.StageEvent{
+				Pipeline: "syscall", Target: "nginx", Stage: "detect",
+				Kind: crashresist.StageDetection,
+				Detection: &crashresist.DetectionEvent{
+					Pipeline: "syscall", Target: "nginx",
+					Detector: "vii-c-default", Tick: 1_000_000, WindowRate: 100,
+				},
+			})
+		}
+		return &crashresist.Result{Schema: Schema}, nil
+	}
+	_, ts := startServer(t, Config{Budget: 1, MaxQueue: 4, Retain: 4, Runner: runner})
+
+	v := postJob(t, ts, `{"target":"nginx","seed":42}`)
+	if fin := waitDone(t, ts, v.ID); fin.State != StateDone {
+		t.Fatalf("state %s (%s)", fin.State, fin.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var detections int
+	var sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: {") {
+			var ev crashresist.StageEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad event frame %q: %v", line, err)
+			}
+			if ev.Kind != crashresist.StageDetection {
+				continue
+			}
+			detections++
+			if ev.Detection == nil {
+				t.Fatalf("detection frame lost its payload: %q", line)
+			}
+			if ev.Detection.Detector != "vii-c-default" || ev.Detection.Tick != 1_000_000 || ev.Detection.WindowRate != 100 {
+				t.Errorf("detection payload mangled: %+v", ev.Detection)
+			}
+		}
+		if line == "event: done" {
+			sawDone = true
+		}
+	}
+	if detections != 1 || !sawDone {
+		t.Fatalf("late subscriber replay: %d detection frames, done=%v", detections, sawDone)
+	}
+}
+
+// TestJobDetectSurface runs a real defended analysis through the job API:
+// "detect":true on the wire embeds the detectability report in the stored
+// result, and the service's own /defense endpoint serves the folded report
+// because the registry rides along as a run sink.
+func TestJobDetectSurface(t *testing.T) {
+	_, ts := startServer(t, Config{Budget: 2, MaxQueue: 8, Retain: 8})
+
+	v := postJob(t, ts, `{"target":"nginx","seed":42,"detect":true}`)
+	fin := waitDone(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state %s (%s)", fin.State, fin.Error)
+	}
+	var res crashresist.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.Detect == nil || res.Detect.Schema != crashresist.DetectSchema {
+		t.Fatalf("stored result has no detect report: %+v", res.Detect)
+	}
+	if len(res.Detect.Sections) != 1 || res.Detect.Sections[0].Target != "nginx" {
+		t.Fatalf("detect sections = %+v", res.Detect.Sections)
+	}
+	if sec := res.Detect.Sections[0]; sec.Baseline == nil || len(sec.Baseline.Events) != 0 {
+		t.Errorf("benign baseline missing or flagged: %+v", sec.Baseline)
+	}
+
+	var rep crashresist.DetectReport
+	if code := getJSON(t, ts.URL+"/defense", &rep); code != http.StatusOK {
+		t.Fatalf("/defense status %d", code)
+	}
+	if rep.Schema != crashresist.DetectSchema || len(rep.Sections) == 0 {
+		t.Fatalf("service /defense report empty: %+v", rep)
+	}
+	if rep.Sections[0].Pipeline != "syscall" || rep.Sections[0].Target != "nginx" {
+		t.Errorf("folded section = %s/%s", rep.Sections[0].Pipeline, rep.Sections[0].Target)
+	}
+}

@@ -304,7 +304,11 @@ func (r *Recorder) recordCoverage(pc uint64) {
 
 // RatePerSecond computes the peak exception rate over a sliding window of
 // the given width (in ticks), using kernel.TicksPerSecond-style scaling by
-// the caller. It returns events-per-window maxima.
+// the caller. It returns events-per-window maxima. Windows are half-open
+// [t, t+window): an event exactly windowTicks after another starts a new
+// window rather than joining the old one, matching the kernel's
+// Clock/TicksPerSecond fault-bucket convention so detector math and the
+// bucketed series agree on edge events.
 func RatePerSecond(events []ExcEvent, windowTicks uint64) uint64 {
 	if len(events) == 0 || windowTicks == 0 {
 		return 0
@@ -312,7 +316,7 @@ func RatePerSecond(events []ExcEvent, windowTicks uint64) uint64 {
 	var peak uint64
 	lo := 0
 	for hi := range events {
-		for events[hi].Clock-events[lo].Clock > windowTicks {
+		for events[hi].Clock-events[lo].Clock >= windowTicks {
 			lo++
 		}
 		if n := uint64(hi - lo + 1); n > peak {

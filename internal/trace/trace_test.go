@@ -243,6 +243,22 @@ func TestRatePerSecond(t *testing.T) {
 	}
 }
 
+// TestRatePerSecondHalfOpenWindow pins the window convention to [t, t+w):
+// an event exactly one window after another never shares a window with it,
+// while one tick earlier both land in the same window. The defense
+// engine's bucket evaluator (defense.Evaluate) assumes this convention.
+func TestRatePerSecondHalfOpenWindow(t *testing.T) {
+	const w = 1_000_000
+	boundary := []ExcEvent{{Clock: 0}, {Clock: w}}
+	if got := RatePerSecond(boundary, w); got != 1 {
+		t.Errorf("events w apart: peak = %d, want 1 (window must be half-open)", got)
+	}
+	inside := []ExcEvent{{Clock: 0}, {Clock: w - 1}}
+	if got := RatePerSecond(inside, w); got != 2 {
+		t.Errorf("events w-1 apart: peak = %d, want 2", got)
+	}
+}
+
 func TestRecorderNoopsWhenDisabled(t *testing.T) {
 	b := asm.NewBuilder("app.exe", bin.KindExecutable)
 	b.Func("main").Entry("main").Halt().EndFunc()

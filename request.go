@@ -89,6 +89,11 @@ type Request struct {
 	// resulting ProfileSnapshot in the Result (and thus in the service's
 	// stored job result). Profiling never changes report bytes.
 	IncludeProfile bool `json:"profile,omitempty"`
+	// IncludeDetect asks Run to watch the analysis with the detection
+	// engine and embed the resulting DetectReport in the Result (and thus
+	// in the service's stored job result). Detection trips also stream as
+	// typed StageEvents. Detection never changes report bytes.
+	IncludeDetect bool `json:"detect,omitempty"`
 
 	// Server attaches a pre-built server target (syscall pipeline).
 	Server *ServerTarget `json:"-"`
@@ -106,6 +111,11 @@ type Request struct {
 	// also embeds its snapshot. When only IncludeProfile is set, Run
 	// profiles into a fresh private profile.
 	Profile *Profile `json:"-"`
+	// Detect attaches a live detection observer (see WithDetect). When
+	// set, the run streams into it; combined with IncludeDetect the Result
+	// also embeds its snapshot. When only IncludeDetect is set, Run
+	// watches with a fresh observer on the default calibration panel.
+	Detect *Detect `json:"-"`
 	// Progress receives live StageEvents (see WithProgress).
 	Progress func(StageEvent) `json:"-"`
 	// Sinks receive live events and the final RunStats (see WithSink).
@@ -139,6 +149,10 @@ type Result struct {
 	// request set IncludeProfile. Like Stats it lives outside the report
 	// fields, so report bytes are identical with profiling on or off.
 	Profile *ProfileSnapshot `json:"profile,omitempty"`
+	// Detect is the run's detectability report, present only when the
+	// request set IncludeDetect. Like Stats it lives outside the report
+	// fields, so report bytes are identical with detection on or off.
+	Detect *DetectReport `json:"detect,omitempty"`
 }
 
 // Report returns the populated report: *SyscallReport, []*SyscallReport,
@@ -236,6 +250,9 @@ func (req Request) options() []Option {
 	if req.Profile != nil {
 		opts = append(opts, WithProfile(req.Profile))
 	}
+	if req.Detect != nil {
+		opts = append(opts, WithDetect(req.Detect))
+	}
 	if req.Progress != nil {
 		opts = append(opts, WithProgress(req.Progress))
 	}
@@ -321,12 +338,18 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	if req.IncludeProfile && req.Profile == nil {
 		req.Profile = NewProfile()
 	}
+	if req.IncludeDetect && req.Detect == nil {
+		req.Detect = NewDetect()
+	}
 	res, err := run(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	if req.IncludeProfile {
 		res.Profile = req.Profile.Snapshot()
+	}
+	if req.IncludeDetect {
+		res.Detect = req.Detect.Snapshot()
 	}
 	return res, nil
 }
@@ -484,7 +507,7 @@ func analyzeBrowserAPIsContext(ctx context.Context, br *BrowserTarget, seed int6
 	a := &discover.APIAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache, Profile: o.profile,
+		Cache: o.cache, Profile: o.profile, Detect: o.detect,
 	}
 	return a.AnalyzeContext(ctx, br)
 }
@@ -494,7 +517,7 @@ func analyzeBrowserSEHContext(ctx context.Context, br *BrowserTarget, seed int64
 	a := &discover.SEHAnalyzer{
 		Seed: seed, Workers: o.workers, Progress: o.progress, Sinks: o.sinks,
 		FaultPlan: o.plan, Retries: o.retries, StageTimeout: o.stageTimeout,
-		Cache: o.cache, Profile: o.profile,
+		Cache: o.cache, Profile: o.profile, Detect: o.detect,
 	}
 	return a.AnalyzeContext(ctx, br)
 }
